@@ -1,0 +1,372 @@
+package compositor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/img"
+	"repro/internal/mpi"
+	"repro/internal/render"
+)
+
+// Strip is a horizontal band of the final image owned by one compositor.
+type Strip struct {
+	Y0, H int
+}
+
+// EqualStrips divides h scanlines into n contiguous strips of near-equal
+// height (the plain direct-send partition).
+func EqualStrips(h, n int) []Strip {
+	out := make([]Strip, n)
+	for i := 0; i < n; i++ {
+		y0 := h * i / n
+		y1 := h * (i + 1) / n
+		out[i] = Strip{Y0: y0, H: y1 - y0}
+	}
+	return out
+}
+
+// subFragment is a piece of a fragment clipped to a strip, on the wire.
+type subFragment struct {
+	X0, Y0  int // absolute image coordinates
+	W, H    int
+	VisRank int
+	Raw     *img.Image // exactly one of Raw/RLE is set
+	RLE     []byte
+}
+
+func (s *subFragment) image() (*img.Image, error) {
+	if s.Raw != nil {
+		return s.Raw, nil
+	}
+	return DecodeRLE(s.RLE, s.W, s.H)
+}
+
+// clipFragment extracts the part of f that overlaps the strip; nil if none.
+func clipFragment(f *render.Fragment, st Strip, compress bool) (*subFragment, int64) {
+	y0 := max(f.Y0, st.Y0)
+	y1 := min(f.Y0+f.Img.H, st.Y0+st.H)
+	if y1 <= y0 || f.Img.W == 0 {
+		return nil, 0
+	}
+	h := y1 - y0
+	part := img.New(f.Img.W, h)
+	copy(part.Pix, f.Img.Pix[4*(y0-f.Y0)*f.Img.W:4*(y1-f.Y0)*f.Img.W])
+	sf := &subFragment{X0: f.X0, Y0: y0, W: part.W, H: h, VisRank: f.VisRank}
+	var bytes int64
+	if compress {
+		sf.RLE = EncodeRLE(part)
+		bytes = int64(len(sf.RLE))
+	} else {
+		sf.Raw = part
+		bytes = RawBytes(part)
+	}
+	return sf, bytes
+}
+
+// compositeStrip assembles received subfragments into the strip canvas in
+// visibility order (front to back).
+func compositeStrip(w int, st Strip, subs []*subFragment) (*img.Image, error) {
+	sort.SliceStable(subs, func(i, j int) bool { return subs[i].VisRank < subs[j].VisRank })
+	out := img.New(w, st.H)
+	for _, s := range subs {
+		part, err := s.image()
+		if err != nil {
+			return nil, err
+		}
+		for y := 0; y < s.H; y++ {
+			gy := s.Y0 + y - st.Y0
+			if gy < 0 || gy >= st.H {
+				continue
+			}
+			for x := 0; x < s.W; x++ {
+				gx := s.X0 + x
+				if gx < 0 || gx >= w {
+					continue
+				}
+				sr, sg, sb, sa := part.At(x, y)
+				if sa == 0 {
+					continue
+				}
+				dr, dg, db, da := out.At(gx, gy)
+				t := 1 - da // dst (already composited, in front) over src
+				out.Set(gx, gy, dr+t*sr, dg+t*sg, db+t*sb, da+t*sa)
+			}
+		}
+	}
+	return out, nil
+}
+
+// Stats reports the communication volume of one compositing invocation.
+type Stats struct {
+	MsgsSent  int
+	BytesSent int64
+}
+
+// DirectSend is the unscheduled baseline: the image is cut into equal
+// strips, and every rank sends every other rank one message containing its
+// (possibly empty) overlapping subfragments — the n(n-1) message pattern
+// the paper describes as the worst case. Returns this rank's composited
+// strip.
+func DirectSend(c *mpi.Comm, group []int, me int, frags []*render.Fragment,
+	w, h, tagBase int, compress bool) (*img.Image, Strip, Stats, error) {
+
+	n := len(group)
+	strips := EqualStrips(h, n)
+	var st Stats
+	var mine []*subFragment
+	for j := 0; j < n; j++ {
+		var subs []*subFragment
+		var bytes int64
+		for _, f := range frags {
+			if sf, b := clipFragment(f, strips[j], compress); sf != nil {
+				subs = append(subs, sf)
+				bytes += b
+			}
+		}
+		if j == me {
+			mine = append(mine, subs...)
+			continue
+		}
+		c.Send(group[j], tagBase, bytes, subs)
+		st.MsgsSent++
+		st.BytesSent += bytes
+	}
+	for j := 0; j < n; j++ {
+		if j == me {
+			continue
+		}
+		msg := c.Recv(group[j], tagBase)
+		if msg.Data != nil {
+			mine = append(mine, msg.Data.([]*subFragment)...)
+		}
+	}
+	outImg, err := compositeStrip(w, strips[me], mine)
+	return outImg, strips[me], st, err
+}
+
+// Rect is a projected screen-space bounding rectangle of one block, used to
+// precompute the SLIC schedule.
+type Rect struct {
+	X0, Y0, X1, Y1 int // half-open pixel bounds
+}
+
+// Empty reports whether the rect covers no pixels.
+func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
+
+// Schedule is the view-dependent compositing schedule: weighted strips and
+// the exact sender set for each compositor, computed identically on every
+// rank from the block-to-rank assignment and the view (no communication).
+type Schedule struct {
+	Strips  []Strip
+	Senders [][]int // Senders[j] = group indices that will message member j
+}
+
+// BuildSchedule computes the schedule. rects[i] lists the projected rects
+// of group member i's blocks. Scanlines are partitioned so each strip
+// carries a near-equal amount of compositing work (sum of covering rects),
+// and a sender appears in Senders[j] only if it has pixels for strip j —
+// this is the "minimal number of messages" property of SLIC.
+func BuildSchedule(rects [][]Rect, w, h, n int) *Schedule {
+	weight := make([]float64, h)
+	for _, rs := range rects {
+		for _, r := range rs {
+			if r.Empty() {
+				continue
+			}
+			y0 := clamp(r.Y0, 0, h)
+			y1 := clamp(r.Y1, 0, h)
+			cov := float64(clamp(r.X1, 0, w) - clamp(r.X0, 0, w))
+			for y := y0; y < y1; y++ {
+				weight[y] += cov
+			}
+		}
+	}
+	var total float64
+	for _, wt := range weight {
+		total += wt + 1 // +1 keeps empty scanlines assignable
+	}
+	strips := make([]Strip, n)
+	y := 0
+	var acc float64
+	for j := 0; j < n; j++ {
+		y0 := y
+		limit := total * float64(j+1) / float64(n)
+		for y < h && acc+weight[y]+1 <= limit+1e-9 {
+			acc += weight[y] + 1
+			y++
+		}
+		if j == n-1 {
+			y = h
+		}
+		strips[j] = Strip{Y0: y0, H: y - y0}
+	}
+	sched := &Schedule{Strips: strips, Senders: make([][]int, n)}
+	for j := 0; j < n; j++ {
+		st := strips[j]
+		for i, rs := range rects {
+			if i == j {
+				continue
+			}
+			for _, r := range rs {
+				if r.Empty() {
+					continue
+				}
+				if r.Y0 < st.Y0+st.H && r.Y1 > st.Y0 {
+					sched.Senders[j] = append(sched.Senders[j], i)
+					break
+				}
+			}
+		}
+	}
+	return sched
+}
+
+// SLIC performs scheduled direct-send compositing: only scheduled messages
+// are exchanged (senders with no pixels for a strip stay silent), and strip
+// sizes are load-balanced by the precomputed schedule.
+func SLIC(c *mpi.Comm, group []int, me int, sched *Schedule, frags []*render.Fragment,
+	w, h, tagBase int, compress bool) (*img.Image, Strip, Stats, error) {
+
+	n := len(group)
+	var st Stats
+	var mine []*subFragment
+	for j := 0; j < n; j++ {
+		// Am I scheduled to send to j?
+		if j != me && !contains(sched.Senders[j], me) {
+			continue
+		}
+		var subs []*subFragment
+		var bytes int64
+		for _, f := range frags {
+			if sf, b := clipFragment(f, sched.Strips[j], compress); sf != nil {
+				subs = append(subs, sf)
+				bytes += b
+			}
+		}
+		if j == me {
+			mine = append(mine, subs...)
+			continue
+		}
+		c.Send(group[j], tagBase, bytes, subs)
+		st.MsgsSent++
+		st.BytesSent += bytes
+	}
+	for _, i := range sched.Senders[me] {
+		msg := c.Recv(group[i], tagBase)
+		if msg.Data != nil {
+			mine = append(mine, msg.Data.([]*subFragment)...)
+		}
+	}
+	outImg, err := compositeStrip(w, sched.Strips[me], mine)
+	return outImg, sched.Strips[me], st, err
+}
+
+// BinarySwap is the classic baseline for power-of-two groups. Each member
+// must hold a single full-image partial whose contents are depth-orderable
+// by group index (member 0 front-most); with the paper's scattered block
+// assignment this assumption does not hold, which is why the pipeline uses
+// SLIC — BinarySwap is provided for the compositing benchmark.
+func BinarySwap(c *mpi.Comm, group []int, me int, partial *img.Image,
+	w, h, tagBase int) (*img.Image, Strip, Stats, error) {
+
+	n := len(group)
+	if n&(n-1) != 0 {
+		return nil, Strip{}, Stats{}, fmt.Errorf("compositor: BinarySwap needs power-of-two group, got %d", n)
+	}
+	var st Stats
+	cur := partial.Clone()
+	y0, hh := 0, h
+	for stride := 1; stride < n; stride <<= 1 {
+		partner := me ^ stride
+		top := me&stride == 0 // I keep the top half
+		half := hh / 2
+		var keepY, sendY, keepH, sendH int
+		if top {
+			keepY, keepH = y0, half
+			sendY, sendH = y0+half, hh-half
+		} else {
+			keepY, keepH = y0+half, hh-half
+			sendY, sendH = y0, half
+		}
+		// Slice out the half to ship.
+		send := img.New(w, sendH)
+		copy(send.Pix, cur.Pix[4*(sendY-y0)*w:4*(sendY-y0+sendH)*w])
+		bytes := RawBytes(send)
+		c.Send(group[partner], tagBase+stride, bytes, send)
+		st.MsgsSent++
+		st.BytesSent += bytes
+		msg := c.Recv(group[partner], tagBase+stride)
+		recv := msg.Data.(*img.Image)
+		keep := img.New(w, keepH)
+		copy(keep.Pix, cur.Pix[4*(keepY-y0)*w:4*(keepY-y0+keepH)*w])
+		// Depth order by group index: lower index is in front.
+		if me < partner {
+			keep.Under(recv)
+		} else {
+			keep.Over(recv)
+		}
+		cur, y0, hh = keep, keepY, keepH
+	}
+	return cur, Strip{Y0: y0, H: hh}, st, nil
+}
+
+// GatherStrips sends every member's strip to the collector (group index 0)
+// and assembles the full image there; other members return nil.
+func GatherStrips(c *mpi.Comm, group []int, me int, strip *img.Image, st Strip,
+	w, h, tagBase int) *img.Image {
+
+	if me != 0 {
+		c.Send(group[0], tagBase, RawBytes(strip), stripMsg{strip, st})
+		return nil
+	}
+	out := img.New(w, h)
+	paste := func(m *img.Image, s Strip) {
+		copy(out.Pix[4*s.Y0*w:4*(s.Y0+s.H)*w], m.Pix)
+	}
+	paste(strip, st)
+	for i := 1; i < len(group); i++ {
+		msg := c.Recv(group[i], tagBase)
+		sm := msg.Data.(stripMsg)
+		paste(sm.img, sm.st)
+	}
+	return out
+}
+
+type stripMsg struct {
+	img *img.Image
+	st  Strip
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+// Package core implements the paper's parallel visualization pipeline: the
+// input / rendering / output processor partitioning, the 1DIP and 2DIP
+// parallel I/O strategies with credit-based double buffering, static load
+// balancing of octree blocks by workload estimate, adaptive fetching and
+// rendering, and the analytic model of Section 5 that predicts how many
+// input processors hide the I/O and preprocessing cost.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/render"
+)
+
+// ReadStrategy selects how a group's input processors read a timestep
+// (Section 5.3).
+type ReadStrategy int
+
+const (
+	// ReadCollective is the single collective noncontiguous read
+	// (MPI_FILE_READ_ALL over an indexed-block view).
+	ReadCollective ReadStrategy = iota
+	// ReadIndependent is the independent contiguous read with a merging
+	// pass on the rendering processors (Section 5.3.2).
+	ReadIndependent
+)
+
+func (s ReadStrategy) String() string {
+	switch s {
+	case ReadCollective:
+		return "collective"
+	case ReadIndependent:
+		return "independent"
+	}
+	return "unknown"
+}
+
+// CompositorKind selects the sort-last compositing algorithm.
+type CompositorKind int
+
+const (
+	CompositeSLIC CompositorKind = iota
+	CompositeDirectSend
+)
+
+func (k CompositorKind) String() string {
+	if k == CompositeSLIC {
+		return "slic"
+	}
+	return "directsend"
+}
+
+// Layout is the processor partitioning: Groups*IPsPerGroup input
+// processors, then Renderers rendering processors, then Outputs output
+// processors. 1DIP is Groups=m, IPsPerGroup=1; 2DIP is Groups=n,
+// IPsPerGroup=m.
+type Layout struct {
+	Groups      int
+	IPsPerGroup int
+	Renderers   int
+	Outputs     int
+}
+
+// Validate rejects impossible layouts.
+func (l Layout) Validate() error {
+	if l.Groups < 1 || l.IPsPerGroup < 1 || l.Renderers < 1 || l.Outputs < 1 {
+		return fmt.Errorf("core: layout needs at least one of each role: %+v", l)
+	}
+	return nil
+}
+
+// NumInput returns the input processor count.
+func (l Layout) NumInput() int { return l.Groups * l.IPsPerGroup }
+
+// WorldSize returns the total rank count.
+func (l Layout) WorldSize() int { return l.NumInput() + l.Renderers + l.Outputs }
+
+// InputRank returns the world rank of input processor (group g, part p).
+func (l Layout) InputRank(g, p int) int { return g*l.IPsPerGroup + p }
+
+// RenderRank returns the world rank of renderer r.
+func (l Layout) RenderRank(r int) int { return l.NumInput() + r }
+
+// OutputRank returns the world rank handling timestep t's frame.
+func (l Layout) OutputRank(t int) int { return l.NumInput() + l.Renderers + t%l.Outputs }
+
+// RoleOf describes what a world rank does.
+func (l Layout) RoleOf(rank int) string {
+	switch {
+	case rank < l.NumInput():
+		return "input"
+	case rank < l.NumInput()+l.Renderers:
+		return "render"
+	default:
+		return "output"
+	}
+}
+
+// GroupRanks returns the world ranks of group g's input processors.
+func (l Layout) GroupRanks(g int) []int {
+	out := make([]int, l.IPsPerGroup)
+	for p := range out {
+		out[p] = l.InputRank(g, p)
+	}
+	return out
+}
+
+// RenderRanks returns the world ranks of all renderers.
+func (l Layout) RenderRanks() []int {
+	out := make([]int, l.Renderers)
+	for r := range out {
+		out[r] = l.RenderRank(r)
+	}
+	return out
+}
+
+// Options are the visualization options shared by both execution modes.
+type Options struct {
+	Width, Height int
+	View          render.View
+	Level         uint8 // adaptive rendering level (cells coarser than leaves)
+	BlockLevel    uint8 // octree distribution granularity
+	Lighting      bool
+	Enhancement   bool
+	EnhanceGain   float32
+	LIC           bool
+	LICSize       int
+	AdaptiveFetch bool
+	ReadStrategy  ReadStrategy
+	Compositor    CompositorKind
+	Compress      bool
+	MaxSteps      int // 0 = all dataset steps
+
+	// FixedVMax, when positive, sets the quantization range directly
+	// instead of scanning the dataset at startup. Required for
+	// simulation-time visualization, where future steps do not exist yet.
+	FixedVMax float32
+
+	// TFName selects the transfer-function preset ("seismic", "gray",
+	// "hot"); empty uses the seismic default.
+	TFName string
+}
+
+// DefaultOptions returns the options used by the examples.
+func DefaultOptions(w, h int) Options {
+	return Options{
+		Width: w, Height: h,
+		View:         render.DefaultView(w, h),
+		Level:        255, // full resolution (clamped to mesh depth)
+		BlockLevel:   2,
+		EnhanceGain:  4,
+		LICSize:      128,
+		ReadStrategy: ReadIndependent,
+		Compositor:   CompositeSLIC,
+	}
+}

@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// Workload supplies the stage implementations the pipeline schedules. Two
+// implementations exist: RealWorkload (actual data, actual rendering) and
+// ModelWorkload (paper-scale calibrated costs for the timing experiments).
+// All hooks are invoked from the rank's own goroutine/process.
+type Workload interface {
+	// Steps returns the number of timesteps to run.
+	Steps() int
+	// Fetch reads this input processor's share (part of m) of timestep t.
+	Fetch(c *mpi.Comm, t, part, m int) (any, error)
+	// Preprocess derives render-ready data (quantization, enhancement,
+	// gradient/vector preparation) from the fetched share.
+	Preprocess(c *mpi.Comm, t, part, m int, fetched any) (any, error)
+	// PayloadFor extracts the piece of the preprocessed step that renderer
+	// r needs (modelled size + optional real payload).
+	PayloadFor(c *mpi.Comm, t int, prep any, renderer int) (int64, any)
+	// LICPayload builds the surface LIC image for timestep t (called on
+	// group part 0 only, and only when the pipeline has LIC enabled).
+	LICPayload(c *mpi.Comm, t int, prep any) (int64, any, error)
+	// Render consumes the m pieces for timestep t on renderer r.
+	Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any, error)
+	// Composite runs sort-last compositing among the renderer group and
+	// returns this renderer's strip payload for the output processor.
+	Composite(c *mpi.Comm, t, r int, group []int, rendered any) (int64, any, error)
+	// Assemble consumes the strips (and optional LIC payload) on the
+	// output processor; it owns frame delivery (e.g. writing the image).
+	Assemble(c *mpi.Comm, t int, strips []mpi.Message, lic *mpi.Message) error
+	// WantLIC reports whether LIC payloads flow this run.
+	WantLIC() bool
+}
+
+// Tag layout: per-timestep point-to-point tags stay below 1<<19; the
+// compositor gets a 256-tag window per timestep above 1<<19.
+func tagData(t int) int      { return t*4 + 0 }
+func tagStrip(t int) int     { return t*4 + 1 }
+func tagLIC(t int) int       { return t*4 + 2 }
+func tagCredit(t int) int    { return t*4 + 3 }
+func tagComposite(t int) int { return 1<<19 + (t%2048)*256 }
+
+// Result accumulates measurements across ranks. Safe for concurrent use.
+type Result struct {
+	mu sync.Mutex
+
+	FrameDone []float64 // completion time of each frame at its output rank
+
+	FetchSec   float64 // summed across IPs
+	PrepSec    float64
+	SendSec    float64
+	WaitCredit float64
+	RenderSec  float64 // summed across renderers
+	CompSec    float64
+	RenderOps  int // render invocations (renderers x steps)
+	Frames     int
+
+	// RankRenderSec records each renderer's total busy time, the basis for
+	// the load-balance diagnostics.
+	RankRenderSec map[int]float64
+}
+
+func (r *Result) add(f func(*Result)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f(r)
+}
+
+// Interframe returns the steady-state interframe delay: the mean gap
+// between consecutive frame completions, skipping the pipeline fill
+// (first `skip` frames).
+func (r *Result) Interframe(skip int) float64 {
+	times := append([]float64(nil), r.FrameDone...)
+	sort.Float64s(times)
+	if len(times)-skip < 2 {
+		skip = 0
+	}
+	if len(times) < 2 {
+		return 0
+	}
+	times = times[skip:]
+	return (times[len(times)-1] - times[0]) / float64(len(times)-1)
+}
+
+// AvgRender returns the mean rendering time of one renderer for one frame.
+func (r *Result) AvgRender() float64 {
+	if r.RenderOps == 0 {
+		return 0
+	}
+	return r.RenderSec / float64(r.RenderOps)
+}
+
+// RenderImbalance returns max/mean of per-renderer busy time — 1.0 is a
+// perfect balance; large values mean the block assignment left renderers
+// idle.
+func (r *Result) RenderImbalance() float64 {
+	if len(r.RankRenderSec) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, v := range r.RankRenderSec {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return max / (sum / float64(len(r.RankRenderSec)))
+}
+
+// Pipeline wires a Workload onto a Layout.
+type Pipeline struct {
+	Layout Layout
+	W      Workload
+	Res    *Result
+
+	// PrefetchDepth is how many timesteps ahead a renderer grants credits
+	// (its receive-buffer depth). The paper's design double-buffers
+	// (depth 1): step t+1 streams in while t renders, which is what caps
+	// 1DIP at the per-step sending time Ts. Depth 0 disables overlap
+	// entirely; larger depths trade memory for pipelining (see the
+	// prefetch ablation in internal/experiments).
+	PrefetchDepth int
+}
+
+// NewPipeline validates the layout and prepares a result sink.
+func NewPipeline(l Layout, w Workload) (*Pipeline, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	if w.Steps() > 1<<17 {
+		return nil, fmt.Errorf("core: too many steps (%d) for the tag space", w.Steps())
+	}
+	return &Pipeline{Layout: l, W: w, Res: &Result{}, PrefetchDepth: 1}, nil
+}
+
+// Run executes this rank's role; call from every rank of the world.
+func (p *Pipeline) Run(c *mpi.Comm) error {
+	if c.Size() != p.Layout.WorldSize() {
+		return fmt.Errorf("core: world has %d ranks, layout needs %d", c.Size(), p.Layout.WorldSize())
+	}
+	switch {
+	case c.Rank() < p.Layout.NumInput():
+		return p.runInput(c)
+	case c.Rank() < p.Layout.NumInput()+p.Layout.Renderers:
+		return p.runRenderer(c)
+	default:
+		return p.runOutput(c)
+	}
+}
+
+// runInput is the input-processor loop: fetch, preprocess, wait for
+// renderer credits (double buffering), distribute, optionally ship LIC.
+func (p *Pipeline) runInput(c *mpi.Comm) error {
+	l := p.Layout
+	i := c.Rank()
+	g := i / l.IPsPerGroup
+	part := i % l.IPsPerGroup
+	m := l.IPsPerGroup
+	steps := p.W.Steps()
+	for t := g; t < steps; t += l.Groups {
+		t0 := c.Now()
+		fetched, err := p.W.Fetch(c, t, part, m)
+		if err != nil {
+			return fmt.Errorf("core: input %d fetch step %d: %w", i, t, err)
+		}
+		t1 := c.Now()
+		prep, err := p.W.Preprocess(c, t, part, m, fetched)
+		if err != nil {
+			return fmt.Errorf("core: input %d preprocess step %d: %w", i, t, err)
+		}
+		t2 := c.Now()
+		// Credits: every renderer grants one credit per step to each IP of
+		// the step's group; sending before the grant would overrun the
+		// renderer's prefetch buffer.
+		for r := 0; r < l.Renderers; r++ {
+			c.Recv(l.RenderRank(r), tagCredit(t))
+		}
+		t3 := c.Now()
+		for r := 0; r < l.Renderers; r++ {
+			bytes, data := p.W.PayloadFor(c, t, prep, r)
+			c.Send(l.RenderRank(r), tagData(t), bytes, data)
+		}
+		t4 := c.Now()
+		if p.W.WantLIC() && part == 0 {
+			bytes, data, err := p.W.LICPayload(c, t, prep)
+			if err != nil {
+				return fmt.Errorf("core: input %d lic step %d: %w", i, t, err)
+			}
+			c.Send(l.OutputRank(t), tagLIC(t), bytes, data)
+		}
+		p.Res.add(func(res *Result) {
+			res.FetchSec += t1 - t0
+			res.PrepSec += t2 - t1
+			res.WaitCredit += t3 - t2
+			res.SendSec += t4 - t3
+		})
+	}
+	return nil
+}
+
+// runRenderer is the rendering-processor loop: grant credits one step
+// ahead, receive the m pieces, render, composite, ship the strip.
+func (p *Pipeline) runRenderer(c *mpi.Comm) error {
+	l := p.Layout
+	r := c.Rank() - l.NumInput()
+	steps := p.W.Steps()
+	group := l.RenderRanks()
+	grant := func(t int) {
+		if t >= steps {
+			return
+		}
+		for _, ip := range l.GroupRanks(t % l.Groups) {
+			c.Send(ip, tagCredit(t), 1, nil)
+		}
+	}
+	depth := p.PrefetchDepth
+	if depth < 0 {
+		depth = 0
+	}
+	// Prime the pipeline: with buffer depth D, steps [0, D) may stream in
+	// before any rendering happens.
+	for t := 0; t < depth && t < steps; t++ {
+		grant(t)
+	}
+	for t := 0; t < steps; t++ {
+		if depth == 0 {
+			grant(t) // no buffering: admit a step only when ready for it
+		}
+		pieces := make([]mpi.Message, l.IPsPerGroup)
+		for k := 0; k < l.IPsPerGroup; k++ {
+			pieces[k] = c.Recv(mpi.AnySource, tagData(t))
+		}
+		// Buffered prefetch: step t+depth may stream in while we render t.
+		if depth > 0 {
+			grant(t + depth)
+		}
+		t0 := c.Now()
+		rendered, err := p.W.Render(c, t, r, pieces)
+		if err != nil {
+			return fmt.Errorf("core: renderer %d step %d: %w", r, t, err)
+		}
+		t1 := c.Now()
+		bytes, strip, err := p.W.Composite(c, t, r, group, rendered)
+		if err != nil {
+			return fmt.Errorf("core: renderer %d composite step %d: %w", r, t, err)
+		}
+		t2 := c.Now()
+		c.Send(l.OutputRank(t), tagStrip(t), bytes, strip)
+		p.Res.add(func(res *Result) {
+			res.RenderSec += t1 - t0
+			res.CompSec += t2 - t1
+			res.RenderOps++
+			if res.RankRenderSec == nil {
+				res.RankRenderSec = make(map[int]float64)
+			}
+			res.RankRenderSec[r] += t1 - t0
+		})
+	}
+	return nil
+}
+
+// runOutput is the output-processor loop: collect strips (and LIC),
+// assemble, and record the frame completion time.
+func (p *Pipeline) runOutput(c *mpi.Comm) error {
+	l := p.Layout
+	o := c.Rank() - l.NumInput() - l.Renderers
+	steps := p.W.Steps()
+	for t := o; t < steps; t += l.Outputs {
+		strips := make([]mpi.Message, l.Renderers)
+		for k := 0; k < l.Renderers; k++ {
+			msg := c.Recv(mpi.AnySource, tagStrip(t))
+			strips[msg.Src-l.NumInput()] = msg
+		}
+		var lic *mpi.Message
+		if p.W.WantLIC() {
+			m := c.Recv(mpi.AnySource, tagLIC(t))
+			lic = &m
+		}
+		if err := p.W.Assemble(c, t, strips, lic); err != nil {
+			return fmt.Errorf("core: output %d step %d: %w", o, t, err)
+		}
+		now := c.Now()
+		p.Res.add(func(res *Result) {
+			res.FrameDone = append(res.FrameDone, now)
+			res.Frames++
+		})
+	}
+	return nil
+}

@@ -1,0 +1,724 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/compositor"
+	"repro/internal/img"
+	"repro/internal/lic"
+	"repro/internal/mesh"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/octree"
+	"repro/internal/pfs"
+	"repro/internal/quadtree"
+	"repro/internal/quake"
+	"repro/internal/render"
+)
+
+// RealWorkload runs the pipeline on an actual dataset: data is fetched
+// through the MPI-IO layer from the parallel file store, quantized to 8 bit
+// and distributed as octree-block payloads, ray-cast on the rendering
+// processors, composited with SLIC or direct send, and assembled into
+// frames the caller can retrieve with Frame().
+//
+// All static structures (mesh, block partition, load-balanced assignment,
+// visibility order, SLIC schedule) are computed once at construction —
+// mirroring the paper's one-time octree preprocessing and distribution.
+type RealWorkload struct {
+	layout Layout
+	opts   Options
+	store  pfs.Store
+	mesh   *mesh.Mesh
+	meta   quake.Meta
+	steps  int
+	level  uint8
+
+	blocks       []octree.Block
+	visRank      []int
+	owner        []int   // block -> renderer
+	rblocks      [][]int // renderer -> blocks
+	blockCells   [][]octree.Cell
+	blockCorner  [][][8]int32
+	blockNodeIDs [][]int32
+	blockLocal   []map[int32]int32 // node id -> index in blockNodeIDs
+	ipBlocks     [][]int           // part -> blocks (collective read ownership)
+
+	allNeeded []int32 // union of node ids at the render level, sorted
+
+	vmax    float32
+	rend    *render.Renderer
+	sched   *compositor.Schedule
+	surfID  []int32
+	surfPos [][3]float64
+
+	framesMu sync.Mutex
+	frames   map[int]*img.Image
+}
+
+// stepShare is one input processor's fetched portion of a timestep.
+type stepShare struct {
+	t    int
+	part int     // which group part fetched this share
+	q    []uint8 // quantized scalar per node (sparse; only fetched ids set)
+	ids  []int32 // which ids are set, sorted (nil means contiguous range)
+	idLo int32   // for contiguous full fetch: [idLo, idHi)
+	idHi int32
+}
+
+// blockRun is the per-block piece of an independent-read payload: Vals are
+// quantized values for blockNodeIDs[Block][Off : Off+len(Vals)].
+type blockRun struct {
+	Block int32
+	Off   int32
+	Vals  []uint8
+}
+
+// blockVals is the per-block piece of a collective-read payload: corner
+// values in block-cell order.
+type blockVals struct {
+	Block int32
+	Vals  []uint8 // 8 per cell
+}
+
+type rendered struct {
+	frags []*render.Fragment
+}
+
+type stripPayload struct {
+	Img   *img.Image
+	Strip compositor.Strip
+}
+
+// NewRealWorkload loads the dataset and performs the one-time setup.
+func NewRealWorkload(l Layout, opts Options, store pfs.Store) (*RealWorkload, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := quake.ReadMesh(store)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading mesh: %w", err)
+	}
+	meta, err := quake.ReadMeta(store)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading meta: %w", err)
+	}
+	if meta.NumNodes != m.NumNodes() {
+		return nil, fmt.Errorf("core: meta says %d nodes, mesh has %d", meta.NumNodes, m.NumNodes())
+	}
+	w := &RealWorkload{
+		layout: l, opts: opts, store: store, mesh: m, meta: meta,
+		frames: make(map[int]*img.Image),
+	}
+	w.steps = meta.NumSteps
+	if opts.MaxSteps > 0 && opts.MaxSteps < w.steps {
+		w.steps = opts.MaxSteps
+	}
+	depth := m.Tree.MaxDepth()
+	w.level = opts.Level
+	if w.level > depth {
+		w.level = depth
+	}
+	if w.level < opts.BlockLevel {
+		w.level = opts.BlockLevel
+	}
+	w.rend = render.NewRenderer()
+	w.rend.Lighting = opts.Lighting
+	if opts.TFName != "" {
+		w.rend.TF = render.TFByName(opts.TFName)
+	}
+
+	// Block partition and static per-block tables.
+	w.blocks = m.Tree.Blocks(opts.BlockLevel)
+	nb := len(w.blocks)
+	w.blockCells = make([][]octree.Cell, nb)
+	w.blockCorner = make([][][8]int32, nb)
+	w.blockNodeIDs = make([][]int32, nb)
+	w.blockLocal = make([]map[int32]int32, nb)
+	for bi, b := range w.blocks {
+		bd, err := render.ExtractBlockData(m, make([]float32, m.NumNodes()), b, w.level)
+		if err != nil {
+			return nil, err
+		}
+		w.blockCells[bi] = bd.Cells
+		corners := make([][8]int32, len(bd.Cells))
+		for ci, cell := range bd.Cells {
+			ids, err := cellCornerIDs(m, cell)
+			if err != nil {
+				return nil, err
+			}
+			corners[ci] = ids
+		}
+		w.blockCorner[bi] = corners
+		w.blockNodeIDs[bi] = render.BlockNodeIDs(m, b, w.level)
+		local := make(map[int32]int32, len(w.blockNodeIDs[bi]))
+		for k, id := range w.blockNodeIDs[bi] {
+			local[id] = int32(k)
+		}
+		w.blockLocal[bi] = local
+	}
+
+	// Load balance: largest blocks first onto the least-loaded renderer.
+	w.owner = make([]int, nb)
+	w.rblocks = make([][]int, l.Renderers)
+	order := make([]int, nb)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < nb; i++ { // selection sort by descending workload
+		for j := i + 1; j < nb; j++ {
+			if len(w.blockCells[order[j]]) > len(w.blockCells[order[i]]) {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	load := make([]int, l.Renderers)
+	for _, bi := range order {
+		best := 0
+		for r := 1; r < l.Renderers; r++ {
+			if load[r] < load[best] {
+				best = r
+			}
+		}
+		w.owner[bi] = best
+		load[best] += len(w.blockCells[bi])
+		w.rblocks[best] = append(w.rblocks[best], bi)
+	}
+
+	// Collective-read ownership: split renderers among the m group parts.
+	mParts := l.IPsPerGroup
+	w.ipBlocks = make([][]int, mParts)
+	for bi := range w.blocks {
+		p := w.owner[bi] % mParts
+		w.ipBlocks[p] = append(w.ipBlocks[p], bi)
+	}
+
+	// Visibility order of block roots for the configured view.
+	roots := make([]octree.Cell, nb)
+	for i, b := range w.blocks {
+		roots[i] = b.Root
+	}
+	view := opts.View
+	vis := octree.VisibilityOrder(roots, view.ViewDir())
+	w.visRank = make([]int, nb)
+	for pos, bi := range vis {
+		w.visRank[bi] = pos
+	}
+
+	// Union of needed node ids (for adaptive independent fetch).
+	seen := make(map[int32]bool)
+	for _, ids := range w.blockNodeIDs {
+		for _, id := range ids {
+			seen[id] = true
+		}
+	}
+	w.allNeeded = make([]int32, 0, len(seen))
+	for id := range seen {
+		w.allNeeded = append(w.allNeeded, id)
+	}
+	sortIDs(w.allNeeded)
+
+	// SLIC schedule from projected block rects (view-dependent precompute).
+	rects := make([][]compositor.Rect, l.Renderers)
+	for bi, b := range w.blocks {
+		bmin, bmax := b.Root.Bounds()
+		fx0, fy0, fx1, fy1 := 1e18, 1e18, -1e18, -1e18
+		for ci := 0; ci < 8; ci++ {
+			p := render.Vec3{bmin[0], bmin[1], bmin[2]}
+			if ci&1 != 0 {
+				p[0] = bmax[0]
+			}
+			if ci&2 != 0 {
+				p[1] = bmax[1]
+			}
+			if ci&4 != 0 {
+				p[2] = bmax[2]
+			}
+			x, y := view.Project(p)
+			if x < fx0 {
+				fx0 = x
+			}
+			if y < fy0 {
+				fy0 = y
+			}
+			if x > fx1 {
+				fx1 = x
+			}
+			if y > fy1 {
+				fy1 = y
+			}
+		}
+		rects[w.owner[bi]] = append(rects[w.owner[bi]], compositor.Rect{
+			X0: int(fx0), Y0: int(fy0), X1: int(fx1) + 1, Y1: int(fy1) + 1,
+		})
+	}
+	w.sched = compositor.BuildSchedule(rects, opts.Width, opts.Height, l.Renderers)
+
+	// Surface nodes for LIC.
+	if opts.LIC {
+		w.surfID = m.SurfaceNodes()
+		w.surfPos = make([][3]float64, len(w.surfID))
+		for i, id := range w.surfID {
+			w.surfPos[i] = m.Nodes[id].Pos()
+		}
+	}
+
+	// Global value range for quantization: scan the dataset once, unless
+	// the caller pinned it (simulation-time visualization cannot scan
+	// steps that have not been computed yet).
+	if opts.FixedVMax > 0 {
+		w.vmax = opts.FixedVMax
+	} else if err := w.scanRange(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func cellCornerIDs(m *mesh.Mesh, cell octree.Cell) ([8]int32, error) {
+	var out [8]int32
+	x, y, z := cell.Anchor()
+	step := uint32(1) << (octree.MaxLevel - cell.Level)
+	for i := 0; i < 8; i++ {
+		g := mesh.GridCoord{x + step*uint32(i&1), y + step*uint32(i>>1&1), z + step*uint32(i>>2&1)}
+		id, ok := m.NodeIndex[g]
+		if !ok {
+			return out, fmt.Errorf("core: missing corner node %v of cell %v", g, cell)
+		}
+		out[i] = id
+	}
+	return out, nil
+}
+
+func sortIDs(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// scanRange computes the dataset-wide maximum velocity magnitude for
+// quantization (the paper's preprocessing quantizes 32-bit to 8-bit).
+func (w *RealWorkload) scanRange() error {
+	var vmax float32
+	buf := make([]byte, w.meta.NumNodes*quake.BytesPerNode)
+	for t := 0; t < w.steps; t++ {
+		if err := w.store.ReadAt(nil, quake.StepObject(t), 0, buf); err != nil {
+			return fmt.Errorf("core: scanning step %d: %w", t, err)
+		}
+		vec := quake.DecodeStep(buf)
+		for _, m := range render.Magnitude(vec) {
+			if m > vmax {
+				vmax = m
+			}
+		}
+	}
+	if vmax == 0 {
+		vmax = 1
+	}
+	w.vmax = vmax
+	return nil
+}
+
+// Steps implements Workload.
+func (w *RealWorkload) Steps() int { return w.steps }
+
+// WantLIC implements Workload.
+func (w *RealWorkload) WantLIC() bool { return w.opts.LIC }
+
+// Frame returns the assembled image for timestep t (after the run).
+func (w *RealWorkload) Frame(t int) *img.Image {
+	w.framesMu.Lock()
+	defer w.framesMu.Unlock()
+	return w.frames[t]
+}
+
+// Mesh exposes the loaded mesh (for examples).
+func (w *RealWorkload) Mesh() *mesh.Mesh { return w.mesh }
+
+// VMax exposes the quantization range (for tests).
+func (w *RealWorkload) VMax() float32 { return w.vmax }
+
+// adaptiveFetching reports whether reads are restricted to the needed
+// node set (adaptive fetching of Section 6) rather than whole steps.
+func (w *RealWorkload) adaptiveFetching() bool {
+	return w.opts.AdaptiveFetch
+}
+
+// readIDs fetches the velocity records of the given sorted node ids from
+// step t and returns their magnitudes quantized (aligned with ids).
+func (w *RealWorkload) readIDs(c *mpi.Comm, t int, ids []int32) ([]uint8, error) {
+	f, err := mpiio.Open(c, w.store, quake.StepObject(t))
+	if err != nil {
+		return nil, err
+	}
+	displs := make([]int64, len(ids))
+	for i, id := range ids {
+		displs[i] = int64(id)
+	}
+	f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: displs, ElemSize: quake.BytesPerNode})
+	raw, err := f.Read()
+	if err != nil {
+		return nil, err
+	}
+	return w.magQuant(c, t, ids, raw)
+}
+
+// magQuant converts raw node records (aligned with ids) to quantized
+// magnitudes, applying temporal enhancement when enabled.
+func (w *RealWorkload) magQuant(c *mpi.Comm, t int, ids []int32, raw []byte) ([]uint8, error) {
+	vec := quake.DecodeStep(raw)
+	mag := render.Magnitude(vec)
+	if w.opts.Enhancement && t > 0 {
+		// Enhancement needs the previous step's values for the same nodes.
+		f, err := mpiio.Open(c, w.store, quake.StepObject(t-1))
+		if err != nil {
+			return nil, err
+		}
+		displs := make([]int64, len(ids))
+		for i, id := range ids {
+			displs[i] = int64(id)
+		}
+		f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: displs, ElemSize: quake.BytesPerNode})
+		praw, err := f.Read()
+		if err != nil {
+			return nil, err
+		}
+		pmag := render.Magnitude(quake.DecodeStep(praw))
+		mag = render.EnhanceTemporal(mag, pmag, w.opts.EnhanceGain)
+	}
+	return render.Quantize(mag, 0, w.vmax), nil
+}
+
+// Fetch implements Workload.
+func (w *RealWorkload) Fetch(c *mpi.Comm, t, part, m int) (any, error) {
+	share := &stepShare{t: t, part: part, q: make([]uint8, w.meta.NumNodes)}
+	switch {
+	case w.opts.ReadStrategy == ReadCollective:
+		// The group's m IPs read collectively: part p fetches the merged
+		// node set of the renderers it owns. The collective runs on the
+		// group's sub-communicator.
+		var ids []int32
+		for _, bi := range w.ipBlocks[part] {
+			ids = append(ids, w.blockNodeIDs[bi]...)
+		}
+		ids = dedupSorted(ids)
+		g := t % w.layout.Groups
+		sub := c.Sub(w.layout.GroupRanks(g), g)
+		f, err := mpiio.Open(sub, w.store, quake.StepObject(t))
+		if err != nil {
+			return nil, err
+		}
+		displs := make([]int64, len(ids))
+		for i, id := range ids {
+			displs[i] = int64(id)
+		}
+		f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: displs, ElemSize: quake.BytesPerNode})
+		raw, err := f.ReadAll(t)
+		if err != nil {
+			return nil, err
+		}
+		q, err := w.magQuant(c, t, ids, raw)
+		if err != nil {
+			return nil, err
+		}
+		share.ids = ids
+		for i, id := range ids {
+			share.q[id] = q[i]
+		}
+	case w.adaptiveFetching():
+		// Independent indexed read of this part's slice of the needed set.
+		n := len(w.allNeeded)
+		lo := n * part / m
+		hi := n * (part + 1) / m
+		ids := w.allNeeded[lo:hi]
+		q, err := w.readIDs(c, t, ids)
+		if err != nil {
+			return nil, err
+		}
+		share.ids = ids
+		for i, id := range ids {
+			share.q[id] = q[i]
+		}
+	default:
+		// Independent contiguous read of 1/m of the node records.
+		n := w.meta.NumNodes
+		lo := int32(n * part / m)
+		hi := int32(n * (part + 1) / m)
+		f, err := mpiio.Open(c, w.store, quake.StepObject(t))
+		if err != nil {
+			return nil, err
+		}
+		raw, err := f.ReadContig(int64(lo)*quake.BytesPerNode, int64(hi-lo)*quake.BytesPerNode)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]int32, hi-lo)
+		for i := range ids {
+			ids[i] = lo + int32(i)
+		}
+		q, err := w.magQuant(c, t, ids, raw)
+		if err != nil {
+			return nil, err
+		}
+		share.idLo, share.idHi = lo, hi
+		for i, id := range ids {
+			share.q[id] = q[i]
+		}
+	}
+	return share, nil
+}
+
+func dedupSorted(ids []int32) []int32 {
+	sortIDs(ids)
+	out := ids[:0]
+	for i, id := range ids {
+		if i == 0 || id != ids[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Preprocess implements Workload. Magnitude computation, enhancement and
+// quantization already happened during Fetch (they operate on the raw read
+// buffer); nothing further is needed for the volume path.
+func (w *RealWorkload) Preprocess(c *mpi.Comm, t, part, m int, fetched any) (any, error) {
+	return fetched, nil
+}
+
+// has reports whether the share holds node id.
+func (s *stepShare) has(id int32) bool {
+	if s.ids != nil {
+		lo, hi := 0, len(s.ids)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if s.ids[mid] < id {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo < len(s.ids) && s.ids[lo] == id
+	}
+	return id >= s.idLo && id < s.idHi
+}
+
+// PayloadFor implements Workload.
+func (w *RealWorkload) PayloadFor(c *mpi.Comm, t int, prep any, renderer int) (int64, any) {
+	share := prep.(*stepShare)
+	if w.opts.ReadStrategy == ReadCollective {
+		var out []blockVals
+		var bytes int64
+		for _, bi := range w.rblocks[renderer] {
+			if w.owner[bi]%w.layout.IPsPerGroup != share.part {
+				continue // another IP of the group owns this block
+			}
+			cells := w.blockCorner[bi]
+			vals := make([]uint8, 8*len(cells))
+			for ci, corners := range cells {
+				for k, id := range corners {
+					vals[8*ci+k] = share.q[id]
+				}
+			}
+			out = append(out, blockVals{Block: int32(bi), Vals: vals})
+			bytes += int64(len(vals)) + 8
+		}
+		if bytes == 0 {
+			bytes = 1
+		}
+		return bytes, out
+	}
+	// Independent strategies: ship the runs of each block's node list that
+	// fall inside this share.
+	var out []blockRun
+	var bytes int64
+	for _, bi := range w.rblocks[renderer] {
+		ids := w.blockNodeIDs[bi]
+		lo := 0
+		for lo < len(ids) && !share.has(ids[lo]) {
+			lo++
+		}
+		hi := lo
+		for hi < len(ids) && share.has(ids[hi]) {
+			hi++
+		}
+		if hi == lo {
+			continue
+		}
+		vals := make([]uint8, hi-lo)
+		for k := lo; k < hi; k++ {
+			vals[k-lo] = share.q[ids[k]]
+		}
+		out = append(out, blockRun{Block: int32(bi), Off: int32(lo), Vals: vals})
+		bytes += int64(len(vals)) + 8
+	}
+	if bytes == 0 {
+		bytes = 1
+	}
+	return bytes, out
+}
+
+// LICPayload implements Workload: reads the surface node vectors, builds
+// the quadtree, resamples a regular grid, and computes the LIC image.
+func (w *RealWorkload) LICPayload(c *mpi.Comm, t int, prep any) (int64, any, error) {
+	f, err := mpiio.Open(c, w.store, quake.StepObject(t))
+	if err != nil {
+		return 0, nil, err
+	}
+	displs := make([]int64, len(w.surfID))
+	for i, id := range w.surfID {
+		displs[i] = int64(id)
+	}
+	f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: displs, ElemSize: quake.BytesPerNode})
+	raw, err := f.Read()
+	if err != nil {
+		return 0, nil, err
+	}
+	vec := quake.DecodeStep(raw)
+	samples := make([]quadtree.Sample, len(w.surfID))
+	for i := range w.surfID {
+		samples[i] = quadtree.Sample{
+			X: w.surfPos[i][0], Y: w.surfPos[i][1],
+			VX: float64(vec[3*i]), VY: float64(vec[3*i+1]),
+		}
+	}
+	qt, err := quadtree.Build(samples, 8)
+	if err != nil {
+		return 0, nil, err
+	}
+	size := w.opts.LICSize
+	if size < 16 {
+		size = 16
+	}
+	grid, err := qt.Resample(size, size)
+	if err != nil {
+		return 0, nil, err
+	}
+	im, err := lic.Compute(grid, size, size, lic.Config{L: size / 12, Seed: 7, Phase: -1})
+	if err != nil {
+		return 0, nil, err
+	}
+	rgba := im.Colorize(grid)
+	return compositor.RawBytes(rgba), rgba, nil
+}
+
+// Render implements Workload.
+func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any, error) {
+	// Merge the pieces into per-block corner values.
+	vals := make(map[int32][]uint8) // block -> node values (independent) or corner values (collective)
+	if w.opts.ReadStrategy == ReadCollective {
+		for _, p := range pieces {
+			if p.Data == nil {
+				continue
+			}
+			for _, bv := range p.Data.([]blockVals) {
+				vals[bv.Block] = bv.Vals
+			}
+		}
+	} else {
+		for _, p := range pieces {
+			if p.Data == nil {
+				continue
+			}
+			for _, run := range p.Data.([]blockRun) {
+				buf, ok := vals[run.Block]
+				if !ok {
+					buf = make([]uint8, len(w.blockNodeIDs[run.Block]))
+					vals[run.Block] = buf
+				}
+				copy(buf[run.Off:], run.Vals)
+			}
+		}
+	}
+	out := &rendered{}
+	view := w.opts.View
+	for _, bi := range w.rblocks[r] {
+		bd := &render.BlockData{Root: w.blocks[bi].Root, Cells: w.blockCells[bi]}
+		cells := w.blockCells[bi]
+		bd.Vals = make([][8]float32, len(cells))
+		switch w.opts.ReadStrategy {
+		case ReadCollective:
+			bv, ok := vals[int32(bi)]
+			if !ok {
+				return nil, fmt.Errorf("core: renderer %d missing block %d at step %d", r, bi, t)
+			}
+			for ci := range cells {
+				for k := 0; k < 8; k++ {
+					bd.Vals[ci][k] = float32(bv[8*ci+k]) / 255
+				}
+			}
+		default:
+			nv, ok := vals[int32(bi)]
+			if !ok {
+				return nil, fmt.Errorf("core: renderer %d missing block %d at step %d", r, bi, t)
+			}
+			local := w.blockLocal[bi]
+			for ci, corners := range w.blockCorner[bi] {
+				for k, id := range corners {
+					bd.Vals[ci][k] = float32(nv[local[id]]) / 255
+				}
+			}
+		}
+		frag := w.rend.RenderBlock(bd, &view)
+		if frag != nil {
+			frag.VisRank = w.visRank[bi]
+			out.frags = append(out.frags, frag)
+		}
+	}
+	return out, nil
+}
+
+// Composite implements Workload.
+func (w *RealWorkload) Composite(c *mpi.Comm, t, r int, group []int, rnd any) (int64, any, error) {
+	frags := rnd.(*rendered).frags
+	var im *img.Image
+	var st compositor.Strip
+	var err error
+	switch w.opts.Compositor {
+	case CompositeDirectSend:
+		im, st, _, err = compositor.DirectSend(c, group, r, frags, w.opts.Width, w.opts.Height, tagComposite(t), w.opts.Compress)
+	default:
+		im, st, _, err = compositor.SLIC(c, group, r, w.sched, frags, w.opts.Width, w.opts.Height, tagComposite(t), w.opts.Compress)
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	return compositor.RawBytes(im), stripPayload{Img: im, Strip: st}, nil
+}
+
+// Assemble implements Workload: paste strips, put the LIC surface image
+// underneath, and store the frame.
+func (w *RealWorkload) Assemble(c *mpi.Comm, t int, strips []mpi.Message, licMsg *mpi.Message) error {
+	frame := img.New(w.opts.Width, w.opts.Height)
+	for _, s := range strips {
+		sp, ok := s.Data.(stripPayload)
+		if !ok {
+			return fmt.Errorf("core: output got unexpected strip payload %T", s.Data)
+		}
+		if sp.Strip.H == 0 {
+			continue
+		}
+		copy(frame.Pix[4*sp.Strip.Y0*w.opts.Width:4*(sp.Strip.Y0+sp.Strip.H)*w.opts.Width], sp.Img.Pix)
+	}
+	if licMsg != nil && licMsg.Data != nil {
+		surf := licMsg.Data.(*img.Image)
+		frame.Under(stretch(surf, w.opts.Width, w.opts.Height))
+	}
+	w.framesMu.Lock()
+	w.frames[t] = frame
+	w.framesMu.Unlock()
+	return nil
+}
+
+// stretch nearest-neighbor scales an image (LIC underlay).
+func stretch(src *img.Image, w, h int) *img.Image {
+	out := img.New(w, h)
+	for y := 0; y < h; y++ {
+		sy := y * src.H / h
+		for x := 0; x < w; x++ {
+			sx := x * src.W / w
+			r, g, b, a := src.At(sx, sy)
+			out.Set(x, y, r, g, b, a)
+		}
+	}
+	return out
+}

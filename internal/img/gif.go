@@ -1,0 +1,40 @@
+package img
+
+import (
+	"fmt"
+	"image"
+	"image/color/palette"
+	"image/draw"
+	"image/gif"
+	"io"
+)
+
+// WriteAnimGIF encodes a frame sequence as an animated GIF — the
+// "exploration in the temporal domain" artifact the pipeline produces.
+// delay is in hundredths of a second per frame; frames must share one size.
+func WriteAnimGIF(w io.Writer, frames []*Image, delay int) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("img: no frames")
+	}
+	w0, h0 := frames[0].W, frames[0].H
+	out := &gif.GIF{LoopCount: 0}
+	for i, fr := range frames {
+		if fr.W != w0 || fr.H != h0 {
+			return fmt.Errorf("img: frame %d is %dx%d, want %dx%d", i, fr.W, fr.H, w0, h0)
+		}
+		rgb := fr.FlattenOn(0, 0, 0)
+		src := image.NewRGBA(image.Rect(0, 0, w0, h0))
+		for p, q := 0, 0; p < len(rgb); p += 3 {
+			src.Pix[q] = rgb[p]
+			src.Pix[q+1] = rgb[p+1]
+			src.Pix[q+2] = rgb[p+2]
+			src.Pix[q+3] = 255
+			q += 4
+		}
+		pal := image.NewPaletted(src.Bounds(), palette.Plan9)
+		draw.FloydSteinberg.Draw(pal, src.Bounds(), src, image.Point{})
+		out.Image = append(out.Image, pal)
+		out.Delay = append(out.Delay, delay)
+	}
+	return gif.EncodeAll(w, out)
+}

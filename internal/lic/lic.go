@@ -1,0 +1,161 @@
+// Package lic implements Line Integral Convolution (Cabral & Leedom) for
+// the ground-surface vector-field visualization of the paper's Section 4.3:
+// a white-noise texture is convolved along streamlines of the 2D velocity
+// field, yielding the flow-structure images of Figures 13 and 14.
+package lic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/img"
+	"repro/internal/quadtree"
+)
+
+// Config controls the LIC computation.
+type Config struct {
+	// L is the half-length of the convolution kernel in pixels (default 10).
+	L int
+	// StepSize is the streamline integration step in pixels (default 0.5).
+	StepSize float64
+	// Seed makes the white-noise texture reproducible.
+	Seed int64
+	// Periodic phase in [0,1) animates the kernel (flow direction cue);
+	// negative disables the periodic filter and uses a box kernel.
+	Phase float64
+}
+
+// Compute returns a w×h grayscale LIC image of the vector field.
+func Compute(field *quadtree.Grid, w, h int, cfg Config) (*Image, error) {
+	if w <= 0 || h <= 0 {
+		return nil, fmt.Errorf("lic: invalid size %dx%d", w, h)
+	}
+	if cfg.L <= 0 {
+		cfg.L = 10
+	}
+	if cfg.StepSize <= 0 {
+		cfg.StepSize = 0.5
+	}
+	noise := WhiteNoise(w, h, cfg.Seed)
+	out := &Image{W: w, H: h, Pix: make([]float32, w*h)}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Pix[y*w+x] = float32(convolve(field, noise, x, y, cfg))
+		}
+	}
+	return out, nil
+}
+
+// Image is a grayscale float image.
+type Image struct {
+	W, H int
+	Pix  []float32
+}
+
+// At returns the pixel value with clamping at the borders.
+func (m *Image) At(x, y int) float64 {
+	if x < 0 {
+		x = 0
+	}
+	if y < 0 {
+		y = 0
+	}
+	if x >= m.W {
+		x = m.W - 1
+	}
+	if y >= m.H {
+		y = m.H - 1
+	}
+	return float64(m.Pix[y*m.W+x])
+}
+
+// WhiteNoise returns a reproducible w×h white-noise texture in [0,1].
+func WhiteNoise(w, h int, seed int64) *Image {
+	rng := rand.New(rand.NewSource(seed))
+	m := &Image{W: w, H: h, Pix: make([]float32, w*h)}
+	for i := range m.Pix {
+		m.Pix[i] = rng.Float32()
+	}
+	return m
+}
+
+// vecAt samples the field at pixel coordinates.
+func vecAt(field *quadtree.Grid, w, h int, x, y float64) (float64, float64) {
+	return field.At(x/float64(w-1), y/float64(h-1))
+}
+
+// kernelWeight evaluates the (optionally periodic) filter at normalized
+// kernel position t in [-1, 1].
+func kernelWeight(t, phase float64) float64 {
+	if phase < 0 {
+		return 1 // box kernel
+	}
+	// Hanning-windowed periodic kernel: animating phase shifts the ripple
+	// along the streamline, giving the impression of flow direction.
+	return (1 + math.Cos(math.Pi*t)) * (1 + math.Cos(2*math.Pi*(t-phase)))
+}
+
+// convolve traces the streamline through pixel (x,y) forward and backward
+// and convolves the noise texture along it.
+func convolve(field *quadtree.Grid, noise *Image, x, y int, cfg Config) float64 {
+	w, h := noise.W, noise.H
+	var sum, wsum float64
+	// Center sample.
+	w0 := kernelWeight(0, cfg.Phase)
+	sum += w0 * noise.At(x, y)
+	wsum += w0
+	for dir := -1.0; dir <= 1.0; dir += 2 {
+		px := float64(x)
+		py := float64(y)
+		dist := 0.0
+		for step := 1; step <= cfg.L; step++ {
+			vx, vy := vecAt(field, w, h, px, py)
+			l := math.Hypot(vx, vy)
+			if l < 1e-12 {
+				break // stagnation point
+			}
+			px += dir * cfg.StepSize * vx / l
+			py += dir * cfg.StepSize * vy / l
+			if px < 0 || py < 0 || px > float64(w-1) || py > float64(h-1) {
+				break
+			}
+			dist += cfg.StepSize
+			t := dir * dist / (float64(cfg.L) * cfg.StepSize)
+			wt := kernelWeight(t, cfg.Phase)
+			sum += wt * noise.At(int(px+0.5), int(py+0.5))
+			wsum += wt
+		}
+	}
+	if wsum == 0 {
+		return noise.At(x, y)
+	}
+	return sum / wsum
+}
+
+// Colorize maps the LIC gray texture onto an RGBA image, modulated by a
+// magnitude field (brighter where motion is stronger) for compositing with
+// the volume rendering at the output processors.
+func (m *Image) Colorize(mag *quadtree.Grid) *img.Image {
+	out := img.New(m.W, m.H)
+	var maxMag float64
+	if mag != nil {
+		for _, v := range mag.VX {
+			if math.Abs(v) > maxMag {
+				maxMag = math.Abs(v)
+			}
+		}
+	}
+	for y := 0; y < m.H; y++ {
+		for x := 0; x < m.W; x++ {
+			g := float32(m.At(x, y))
+			a := float32(1.0)
+			if mag != nil && maxMag > 0 {
+				v, _ := mag.At(float64(x)/float64(m.W-1), float64(y)/float64(m.H-1))
+				a = float32(0.25 + 0.75*math.Abs(v)/maxMag)
+			}
+			out.Set(x, y, g*a, g*a, g*a, a)
+		}
+	}
+	return out
+}

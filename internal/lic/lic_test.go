@@ -1,0 +1,174 @@
+package lic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/quadtree"
+)
+
+// uniformField returns a constant-direction grid field.
+func uniformField(w, h int, vx, vy float64) *quadtree.Grid {
+	g := &quadtree.Grid{W: w, H: h, VX: make([]float64, w*h), VY: make([]float64, w*h)}
+	for i := range g.VX {
+		g.VX[i] = vx
+		g.VY[i] = vy
+	}
+	return g
+}
+
+// circularField rotates around the image center.
+func circularField(w, h int) *quadtree.Grid {
+	g := &quadtree.Grid{W: w, H: h, VX: make([]float64, w*h), VY: make([]float64, w*h)}
+	for j := 0; j < h; j++ {
+		for i := 0; i < w; i++ {
+			x := float64(i)/float64(w-1) - 0.5
+			y := float64(j)/float64(h-1) - 0.5
+			g.VX[j*w+i] = -y
+			g.VY[j*w+i] = x
+		}
+	}
+	return g
+}
+
+// directionalVariance measures pixel variance along x-runs vs y-runs.
+func directionalVariance(m *Image) (alongX, alongY float64) {
+	for y := 0; y < m.H; y++ {
+		for x := 1; x < m.W; x++ {
+			d := m.At(x, y) - m.At(x-1, y)
+			alongX += d * d
+		}
+	}
+	for x := 0; x < m.W; x++ {
+		for y := 1; y < m.H; y++ {
+			d := m.At(x, y) - m.At(x, y-1)
+			alongY += d * d
+		}
+	}
+	return
+}
+
+func TestLICSmoothsAlongFlow(t *testing.T) {
+	// Flow along +x: after LIC, variation along x must be much smaller than
+	// along y (streaks aligned with the flow).
+	field := uniformField(64, 64, 1, 0)
+	out, err := Compute(field, 64, 64, Config{L: 12, Seed: 1, Phase: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, ay := directionalVariance(out)
+	if ax*3 > ay {
+		t.Errorf("LIC streaks not aligned with flow: varX=%v varY=%v", ax, ay)
+	}
+}
+
+func TestLICFlowDirectionRotates(t *testing.T) {
+	field := uniformField(64, 64, 0, 1)
+	out, err := Compute(field, 64, 64, Config{L: 12, Seed: 1, Phase: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ax, ay := directionalVariance(out)
+	if ay*3 > ax {
+		t.Errorf("vertical flow: varX=%v varY=%v", ax, ay)
+	}
+}
+
+func TestLICPreservesMean(t *testing.T) {
+	// Convolution with a normalized kernel keeps the mean near 0.5.
+	field := circularField(48, 48)
+	out, err := Compute(field, 48, 48, Config{L: 8, Seed: 3, Phase: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range out.Pix {
+		mean += float64(v)
+	}
+	mean /= float64(len(out.Pix))
+	if math.Abs(mean-0.5) > 0.05 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestLICReducesVarianceVsNoise(t *testing.T) {
+	field := circularField(48, 48)
+	noise := WhiteNoise(48, 48, 3)
+	out, _ := Compute(field, 48, 48, Config{L: 10, Seed: 3, Phase: -1})
+	varOf := func(m *Image) float64 {
+		var mean, v float64
+		for _, p := range m.Pix {
+			mean += float64(p)
+		}
+		mean /= float64(len(m.Pix))
+		for _, p := range m.Pix {
+			v += (float64(p) - mean) * (float64(p) - mean)
+		}
+		return v / float64(len(m.Pix))
+	}
+	if varOf(out) >= varOf(noise)*0.6 {
+		t.Errorf("LIC variance %v not well below noise variance %v", varOf(out), varOf(noise))
+	}
+}
+
+func TestLICDeterministic(t *testing.T) {
+	field := circularField(32, 32)
+	a, _ := Compute(field, 32, 32, Config{L: 8, Seed: 7})
+	b, _ := Compute(field, 32, 32, Config{L: 8, Seed: 7})
+	for i := range a.Pix {
+		if a.Pix[i] != b.Pix[i] {
+			t.Fatal("LIC not deterministic")
+		}
+	}
+}
+
+func TestLICZeroFieldReturnsNoise(t *testing.T) {
+	field := uniformField(16, 16, 0, 0)
+	out, err := Compute(field, 16, 16, Config{L: 8, Seed: 2, Phase: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := WhiteNoise(16, 16, 2)
+	for i := range out.Pix {
+		if out.Pix[i] != noise.Pix[i] {
+			t.Fatal("stagnant field should return the noise texture")
+		}
+	}
+}
+
+func TestLICPeriodicPhaseChangesImage(t *testing.T) {
+	field := uniformField(32, 32, 1, 0.3)
+	a, _ := Compute(field, 32, 32, Config{L: 10, Seed: 4, Phase: 0.0})
+	b, _ := Compute(field, 32, 32, Config{L: 10, Seed: 4, Phase: 0.5})
+	var diff float64
+	for i := range a.Pix {
+		diff += math.Abs(float64(a.Pix[i] - b.Pix[i]))
+	}
+	if diff == 0 {
+		t.Error("animating the kernel phase had no effect")
+	}
+}
+
+func TestLICInvalidSize(t *testing.T) {
+	if _, err := Compute(uniformField(8, 8, 1, 0), 0, 8, Config{}); err == nil {
+		t.Error("zero size accepted")
+	}
+}
+
+func TestColorize(t *testing.T) {
+	field := uniformField(16, 16, 1, 0)
+	out, _ := Compute(field, 16, 16, Config{L: 4, Seed: 5, Phase: -1})
+	rgba := out.Colorize(field)
+	if rgba.W != 16 || rgba.H != 16 {
+		t.Fatal("bad colorize size")
+	}
+	_, _, _, a := rgba.At(8, 8)
+	if a <= 0 || a > 1 {
+		t.Errorf("alpha = %v", a)
+	}
+	plain := out.Colorize(nil)
+	_, _, _, a = plain.At(8, 8)
+	if a != 1 {
+		t.Errorf("unmodulated alpha = %v", a)
+	}
+}

@@ -1,0 +1,257 @@
+// Package mpi provides the message-passing runtime the visualization
+// pipeline runs on. It mirrors the MPI subset used by the paper (blocking
+// and non-blocking point-to-point with tag matching, plus the collectives)
+// and runs over one of two interchangeable transports:
+//
+//   - a real transport (RunReal): ranks are goroutines on the local machine,
+//     messages move through mailboxes instantly, and time is wall-clock.
+//     Used to run the actual renderer on actual data.
+//
+//   - a simulated transport (RunSim): ranks are processes of a deterministic
+//     discrete-event kernel (internal/sim); message transfers consume
+//     bandwidth on per-rank NIC links, file reads consume parallel-file-
+//     system bandwidth, and Compute advances virtual time. Used to run
+//     paper-scale configurations (100M cells, 400 MB per timestep) and
+//     reproduce the paper's timing figures.
+//
+// The pipeline code is written once against *Comm and behaves identically
+// under both transports.
+package mpi
+
+import "fmt"
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// collTagBase is the start of the tag namespace reserved for collectives.
+// Application tags must stay below this value.
+const collTagBase = 1 << 24
+
+// Message is a received message. Bytes is the modeled payload size (drives
+// virtual transfer time under RunSim); Data is the actual payload, which may
+// be nil in cost-model runs.
+type Message struct {
+	Src   int
+	Tag   int
+	Bytes int64
+	Data  any
+}
+
+// Request is the completion handle for a non-blocking operation.
+type Request struct {
+	done bool
+	wait func(r *Request)
+}
+
+// Wait blocks until the operation completes.
+func (r *Request) Wait() {
+	if r.done {
+		return
+	}
+	r.wait(r)
+	r.done = true
+}
+
+// Done reports whether the operation has already completed.
+func (r *Request) Done() bool { return r.done }
+
+// world is the transport behind a communicator.
+type world interface {
+	send(c *Comm, dst, tag int, bytes int64, data any)
+	isend(c *Comm, dst, tag int, bytes int64, data any) *Request
+	recv(c *Comm, src, tag int) Message
+	now(c *Comm) float64
+	compute(c *Comm, seconds float64)
+	ioRead(c *Comm, bytes int64, seeks int)
+	simulated() bool
+}
+
+// Comm is one rank's view of the communicator. All methods must be called
+// from that rank's own goroutine/process.
+type Comm struct {
+	rank    int
+	size    int
+	w       world
+	collSeq int
+
+	// Stats accumulated by this rank.
+	BytesSent   int64
+	BytesRecv   int64
+	MsgsSent    int
+	MsgsRecv    int
+	IOBytesRead int64
+	IOSeeks     int
+}
+
+// Rank returns this rank's index in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// Simulated reports whether this communicator runs on the discrete-event
+// transport (virtual time) rather than wall-clock goroutines.
+func (c *Comm) Simulated() bool { return c.w.simulated() }
+
+// Now returns elapsed time in seconds: virtual time under RunSim,
+// wall-clock since RunReal started otherwise.
+func (c *Comm) Now() float64 { return c.w.now(c) }
+
+// Compute charges seconds of computation. Under RunSim it advances virtual
+// time; under RunReal it is a no-op (real computation takes real time).
+func (c *Comm) Compute(seconds float64) { c.w.compute(c, seconds) }
+
+// IORead charges a parallel-file-system read of the given size and number
+// of noncontiguous segments (seeks). Under RunReal it is a no-op; real reads
+// go through internal/pfs, which performs them for real.
+func (c *Comm) IORead(bytes int64, seeks int) {
+	c.IOBytesRead += bytes
+	c.IOSeeks += seeks
+	c.w.ioRead(c, bytes, seeks)
+}
+
+func (c *Comm) checkPeer(r int, op string) {
+	if r < 0 || r >= c.size {
+		panic(fmt.Sprintf("mpi: %s: rank %d out of range [0,%d)", op, r, c.size))
+	}
+}
+
+// Send delivers a message to dst, blocking until the payload has been
+// transferred out of this rank (eager/instant under RunReal; for the
+// duration of the modeled transfer under RunSim — this is the sender
+// occupancy the paper calls Ts).
+func (c *Comm) Send(dst, tag int, bytes int64, data any) {
+	c.checkPeer(dst, "Send")
+	c.BytesSent += bytes
+	c.MsgsSent++
+	c.w.send(c, dst, tag, bytes, data)
+}
+
+// Isend starts a non-blocking send and returns its completion handle. The
+// sender may continue immediately; the transfer proceeds in the background.
+func (c *Comm) Isend(dst, tag int, bytes int64, data any) *Request {
+	c.checkPeer(dst, "Isend")
+	c.BytesSent += bytes
+	c.MsgsSent++
+	return c.w.isend(c, dst, tag, bytes, data)
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns it.
+// Use AnySource / AnyTag as wildcards.
+func (c *Comm) Recv(src, tag int) Message {
+	if src != AnySource {
+		c.checkPeer(src, "Recv")
+	}
+	m := c.w.recv(c, src, tag)
+	c.BytesRecv += m.Bytes
+	c.MsgsRecv++
+	return m
+}
+
+// --- Collectives -----------------------------------------------------------
+//
+// All collectives are implemented over point-to-point operations in a
+// reserved tag namespace. Every rank must call each collective in the same
+// order; a per-rank sequence number isolates consecutive collectives.
+
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return collTagBase + c.collSeq
+}
+
+// Barrier blocks until every rank has entered it (dissemination algorithm).
+func (c *Comm) Barrier() {
+	tag := c.nextCollTag()
+	for k := 1; k < c.size; k <<= 1 {
+		dst := (c.rank + k) % c.size
+		src := (c.rank - k + c.size) % c.size
+		c.Send(dst, tag, 1, nil)
+		c.Recv(src, tag)
+	}
+}
+
+// Bcast broadcasts (bytes, data) from root using a binomial tree and returns
+// the payload on every rank.
+func (c *Comm) Bcast(root int, bytes int64, data any) any {
+	c.checkPeer(root, "Bcast")
+	tag := c.nextCollTag()
+	// Rotate so the root is virtual rank 0.
+	vr := (c.rank - root + c.size) % c.size
+	if vr != 0 {
+		// Receive from parent first.
+		m := c.Recv(AnySource, tag)
+		data, bytes = m.Data, m.Bytes
+	}
+	// Forward to children: at step k this rank holds the payload iff vr < k,
+	// and its child for the step is vr + k.
+	for k := 1; k < c.size; k <<= 1 {
+		if vr < k && vr+k < c.size {
+			c.Send((vr+k+root)%c.size, tag, bytes, data)
+		}
+	}
+	return data
+}
+
+// Reduce combines each rank's (bytes, data) with op, leaving the result on
+// root (binomial tree). op must be associative; nil inputs are passed
+// through to op as-is in cost-model runs (op may ignore them).
+func (c *Comm) Reduce(root int, bytes int64, data any, op func(a, b any) any) any {
+	c.checkPeer(root, "Reduce")
+	tag := c.nextCollTag()
+	vr := (c.rank - root + c.size) % c.size
+	acc := data
+	accBytes := bytes
+	for k := 1; k < c.size; k <<= 1 {
+		if vr&k != 0 {
+			parent := vr - k
+			c.Send((parent+root)%c.size, tag, accBytes, acc)
+			return nil
+		}
+		child := vr + k
+		if child < c.size {
+			m := c.Recv((child+root)%c.size, tag)
+			acc = op(acc, m.Data)
+			if m.Bytes > accBytes {
+				accBytes = m.Bytes
+			}
+		}
+	}
+	return acc
+}
+
+// Allreduce is Reduce to rank 0 followed by Bcast.
+func (c *Comm) Allreduce(bytes int64, data any, op func(a, b any) any) any {
+	v := c.Reduce(0, bytes, data, op)
+	return c.Bcast(0, bytes, v)
+}
+
+// Gather collects each rank's (bytes, data) on root; the returned slice is
+// indexed by rank and non-nil only on root.
+func (c *Comm) Gather(root int, bytes int64, data any) []any {
+	c.checkPeer(root, "Gather")
+	tag := c.nextCollTag()
+	if c.rank != root {
+		c.Send(root, tag, bytes, data)
+		return nil
+	}
+	out := make([]any, c.size)
+	out[root] = data
+	for i := 0; i < c.size-1; i++ {
+		m := c.Recv(AnySource, tag)
+		out[m.Src] = m.Data
+	}
+	return out
+}
+
+// Allgather gathers every rank's payload and broadcasts the result.
+func (c *Comm) Allgather(bytes int64, data any) []any {
+	all := c.Gather(0, bytes, data)
+	v := c.Bcast(0, bytes*int64(c.size), all)
+	if v == nil {
+		return nil
+	}
+	return v.([]any)
+}

@@ -1,0 +1,97 @@
+package mpi
+
+import (
+	"sync"
+	"time"
+)
+
+// realWorld is the wall-clock transport: ranks are goroutines, messages are
+// delivered eagerly through per-rank mailboxes. Payloads are handed over by
+// reference; a sender must not mutate a buffer after sending it.
+type realWorld struct {
+	start time.Time
+	boxes []*mailbox
+}
+
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []Message
+}
+
+func newMailbox() *mailbox {
+	b := &mailbox{}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func matches(m Message, src, tag int) bool {
+	return (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag)
+}
+
+func (b *mailbox) put(m Message) {
+	b.mu.Lock()
+	b.msgs = append(b.msgs, m)
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) get(src, tag int) Message {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		for i, m := range b.msgs {
+			if matches(m, src, tag) {
+				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
+				return m
+			}
+		}
+		b.cond.Wait()
+	}
+}
+
+func (w *realWorld) send(c *Comm, dst, tag int, bytes int64, data any) {
+	w.boxes[dst].put(Message{Src: c.rank, Tag: tag, Bytes: bytes, Data: data})
+}
+
+func (w *realWorld) isend(c *Comm, dst, tag int, bytes int64, data any) *Request {
+	w.send(c, dst, tag, bytes, data)
+	return &Request{done: true}
+}
+
+func (w *realWorld) recv(c *Comm, src, tag int) Message {
+	return w.boxes[c.rank].get(src, tag)
+}
+
+func (w *realWorld) now(c *Comm) float64 { return time.Since(w.start).Seconds() }
+
+func (w *realWorld) compute(c *Comm, seconds float64) {} // real work takes real time
+
+func (w *realWorld) ioRead(c *Comm, bytes int64, seeks int) {} // real reads go through pfs
+
+func (w *realWorld) simulated() bool { return false }
+
+// RunReal executes body on n goroutine ranks over the wall-clock transport
+// and blocks until all ranks return. It returns the elapsed wall time in
+// seconds.
+func RunReal(n int, body func(c *Comm)) float64 {
+	if n <= 0 {
+		panic("mpi: RunReal needs at least one rank")
+	}
+	w := &realWorld{start: time.Now()}
+	w.boxes = make([]*mailbox, n)
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		c := &Comm{rank: r, size: n, w: w}
+		go func() {
+			defer wg.Done()
+			body(c)
+		}()
+	}
+	wg.Wait()
+	return time.Since(w.start).Seconds()
+}

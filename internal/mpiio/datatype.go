@@ -1,0 +1,128 @@
+// Package mpiio implements the MPI-IO subset the paper's input processors
+// rely on (Section 5.3): derived datatypes built with
+// MPI_TYPE_CREATE_INDEXED_BLOCK, file views set with MPI_FILE_SET_VIEW,
+// collective reads (MPI_FILE_READ_ALL, realized as two-phase I/O), and
+// independent reads with data sieving for noncontiguous patterns.
+package mpiio
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Segment is a contiguous byte range of a file.
+type Segment struct {
+	Off, Len int64
+}
+
+// Datatype describes a (possibly noncontiguous) read pattern as byte
+// segments relative to the view displacement.
+type Datatype interface {
+	// Segments returns the byte ranges covered by the type, relative to
+	// offset zero, sorted and non-overlapping.
+	Segments() []Segment
+	// Size returns the number of useful bytes (sum of segment lengths).
+	Size() int64
+}
+
+// Contig is n contiguous elements of elemSize bytes.
+type Contig struct {
+	N        int
+	ElemSize int64
+}
+
+// Segments implements Datatype.
+func (c Contig) Segments() []Segment {
+	if c.N <= 0 {
+		return nil
+	}
+	return []Segment{{0, int64(c.N) * c.ElemSize}}
+}
+
+// Size implements Datatype.
+func (c Contig) Size() int64 {
+	if c.N <= 0 {
+		return 0
+	}
+	return int64(c.N) * c.ElemSize
+}
+
+// IndexedBlock mirrors MPI_TYPE_CREATE_INDEXED_BLOCK: equal-length blocks of
+// Blocklen elements at the given element displacements. This is the type
+// the input processors derive from the octree data: each displacement is
+// the index of a run of node records belonging to one octree block.
+type IndexedBlock struct {
+	Blocklen int     // elements per block
+	Displs   []int64 // element displacements (need not be sorted)
+	ElemSize int64   // bytes per element
+}
+
+// Segments implements Datatype: sorted, with adjacent/overlapping runs
+// coalesced.
+func (t IndexedBlock) Segments() []Segment {
+	if t.Blocklen <= 0 || len(t.Displs) == 0 {
+		return nil
+	}
+	segs := make([]Segment, 0, len(t.Displs))
+	for _, d := range t.Displs {
+		segs = append(segs, Segment{Off: d * t.ElemSize, Len: int64(t.Blocklen) * t.ElemSize})
+	}
+	return Coalesce(segs)
+}
+
+// Size implements Datatype. Overlapping displacements are counted once
+// (consistent with Segments).
+func (t IndexedBlock) Size() int64 {
+	var n int64
+	for _, s := range t.Segments() {
+		n += s.Len
+	}
+	return n
+}
+
+// Coalesce sorts segments by offset, drops empty ones, and merges
+// overlapping or adjacent runs. The input slice may be reordered.
+func Coalesce(segs []Segment) []Segment {
+	nonEmpty := segs[:0]
+	for _, s := range segs {
+		if s.Len > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	segs = nonEmpty
+	if len(segs) == 0 {
+		return nil
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].Off < segs[j].Off })
+	out := segs[:1]
+	for _, s := range segs[1:] {
+		last := &out[len(out)-1]
+		if s.Off <= last.Off+last.Len {
+			if end := s.Off + s.Len; end > last.Off+last.Len {
+				last.Len = end - last.Off
+			}
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// shift returns the segments displaced by disp bytes.
+func shift(segs []Segment, disp int64) []Segment {
+	out := make([]Segment, len(segs))
+	for i, s := range segs {
+		out[i] = Segment{Off: s.Off + disp, Len: s.Len}
+	}
+	return out
+}
+
+// validate checks segment sanity for error messages.
+func validate(segs []Segment) error {
+	for _, s := range segs {
+		if s.Off < 0 || s.Len < 0 {
+			return fmt.Errorf("mpiio: invalid segment %+v", s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package mpiio
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+)
+
+// DefaultSieveGap is the largest hole (in bytes) that data sieving will
+// read through rather than splitting into separate requests. ROMIO's
+// default sieving buffer is of this order.
+const DefaultSieveGap = 64 << 10
+
+// File is an open MPI-IO file handle. A handle is rank-local; collective
+// operations (ReadAll) must be invoked by every rank of the communicator
+// in the same order, as in MPI.
+type File struct {
+	c    *mpi.Comm
+	st   pfs.Store
+	name string
+	size int64
+
+	disp int64
+	view Datatype
+
+	// SieveGap tunes data sieving; zero disables coalescing through holes.
+	SieveGap int64
+
+	// Stats for the I/O strategy experiments.
+	PhysReads    int   // physical read requests issued
+	PhysBytes    int64 // bytes physically read (including sieved holes)
+	UsefulBytes  int64 // bytes actually requested by the view
+	ShuffleBytes int64 // bytes exchanged during two-phase redistribution
+	ShuffleMsgs  int   // messages exchanged during two-phase redistribution
+}
+
+// Open opens the named object for reading.
+func Open(c *mpi.Comm, st pfs.Store, name string) (*File, error) {
+	size, err := st.Size(name)
+	if err != nil {
+		return nil, err
+	}
+	return &File{c: c, st: st, name: name, size: size, view: Contig{N: int(size), ElemSize: 1}, SieveGap: DefaultSieveGap}, nil
+}
+
+// Size returns the file size in bytes.
+func (f *File) Size() int64 { return f.size }
+
+// SetView establishes this rank's view of the file: the datatype's
+// segments, displaced by disp bytes (mirrors MPI_FILE_SET_VIEW).
+func (f *File) SetView(disp int64, t Datatype) {
+	f.disp = disp
+	f.view = t
+}
+
+// segs returns the absolute byte segments of the current view.
+func (f *File) segs() ([]Segment, error) {
+	s := shift(f.view.Segments(), f.disp)
+	if err := validate(s); err != nil {
+		return nil, err
+	}
+	for _, seg := range s {
+		if seg.Off+seg.Len > f.size {
+			return nil, fmt.Errorf("mpiio: view segment [%d,%d) beyond EOF of %q (size %d)", seg.Off, seg.Off+seg.Len, f.name, f.size)
+		}
+	}
+	return s, nil
+}
+
+// planSieve groups view segments into physical reads, reading through
+// holes no larger than SieveGap (data sieving).
+func planSieve(segs []Segment, gap int64) []Segment {
+	if len(segs) == 0 {
+		return nil
+	}
+	plan := []Segment{segs[0]}
+	for _, s := range segs[1:] {
+		last := &plan[len(plan)-1]
+		if s.Off-(last.Off+last.Len) <= gap {
+			last.Len = s.Off + s.Len - last.Off
+		} else {
+			plan = append(plan, s)
+		}
+	}
+	return plan
+}
+
+// Read performs an independent read of the entire view and returns the
+// useful bytes packed in view order. Noncontiguous views are serviced with
+// data sieving.
+func (f *File) Read() ([]byte, error) {
+	segs, err := f.segs()
+	if err != nil {
+		return nil, err
+	}
+	var useful int64
+	for _, s := range segs {
+		useful += s.Len
+	}
+	out := make([]byte, useful)
+	plan := planSieve(segs, f.SieveGap)
+	// Read each physical run once, then scatter the useful parts.
+	pos := int64(0)
+	si := 0
+	for _, p := range plan {
+		buf := make([]byte, p.Len)
+		if err := f.st.ReadAt(f.c, f.name, p.Off, buf); err != nil {
+			return nil, err
+		}
+		f.PhysReads++
+		f.PhysBytes += p.Len
+		for si < len(segs) && segs[si].Off+segs[si].Len <= p.Off+p.Len {
+			s := segs[si]
+			copy(out[pos:pos+s.Len], buf[s.Off-p.Off:])
+			pos += s.Len
+			si++
+		}
+	}
+	f.UsefulBytes += useful
+	return out, nil
+}
+
+// ReadContig reads [off, off+n) directly, bypassing the view. This is the
+// "independent contiguous read" strategy of Section 5.3.2.
+func (f *File) ReadContig(off, n int64) ([]byte, error) {
+	if off < 0 || off+n > f.size {
+		return nil, fmt.Errorf("mpiio: contiguous read [%d,%d) beyond EOF of %q", off, off+n, f.name)
+	}
+	buf := make([]byte, n)
+	if err := f.st.ReadAt(f.c, f.name, off, buf); err != nil {
+		return nil, err
+	}
+	f.PhysReads++
+	f.PhysBytes += n
+	f.UsefulBytes += n
+	return buf, nil
+}
+
+// collTagBase is the tag space for two-phase shuffles; the caller passes a
+// sequence number so consecutive collectives stay separate.
+const collTagBase = 1 << 20
+
+// piece is a fragment of file data redistributed during two-phase I/O.
+type piece struct {
+	Off  int64
+	Data []byte
+}
+
+// ReadAll performs a collective read of every rank's view using two-phase
+// I/O (mirrors MPI_FILE_READ_ALL): the union of all requests is split into
+// one contiguous file range per rank; each rank reads its range with data
+// sieving and redistributes the pieces. Returns the useful bytes of this
+// rank's view, packed in view order.
+func (f *File) ReadAll(seq int) ([]byte, error) {
+	c := f.c
+	mySegs, err := f.segs()
+	if err != nil {
+		return nil, err
+	}
+	// Phase 0: exchange request metadata.
+	metaBytes := int64(16 * len(mySegs))
+	allAny := c.Allgather(metaBytes, mySegs)
+	all := make([][]Segment, c.Size())
+	lo, hi := int64(-1), int64(-1)
+	for r, v := range allAny {
+		if v != nil {
+			all[r] = v.([]Segment)
+		}
+		for _, s := range all[r] {
+			if lo < 0 || s.Off < lo {
+				lo = s.Off
+			}
+			if e := s.Off + s.Len; e > hi {
+				hi = e
+			}
+		}
+	}
+	tag := collTagBase + seq
+	if lo < 0 { // nobody wants anything
+		return []byte{}, nil
+	}
+	// Phase 1: this rank aggregates the file range [myLo, myHi).
+	span := hi - lo
+	m := int64(c.Size())
+	myLo := lo + span*int64(c.Rank())/m
+	myHi := lo + span*int64(c.Rank()+1)/m
+	// Union of all requested segments clipped to my range.
+	var clipped []Segment
+	for _, rs := range all {
+		for _, s := range rs {
+			cl := clip(s, myLo, myHi)
+			if cl.Len > 0 {
+				clipped = append(clipped, cl)
+			}
+		}
+	}
+	clipped = Coalesce(clipped)
+	plan := planSieve(clipped, f.SieveGap)
+	// Read the physical runs.
+	type run struct {
+		off int64
+		buf []byte
+	}
+	var runs []run
+	for _, p := range plan {
+		buf := make([]byte, p.Len)
+		if err := f.st.ReadAt(f.c, f.name, p.Off, buf); err != nil {
+			return nil, err
+		}
+		f.PhysReads++
+		f.PhysBytes += p.Len
+		runs = append(runs, run{p.Off, buf})
+	}
+	lookup := func(off, n int64) []byte {
+		for _, r := range runs {
+			if off >= r.off && off+n <= r.off+int64(len(r.buf)) {
+				return r.buf[off-r.off : off-r.off+n]
+			}
+		}
+		panic("mpiio: two-phase lookup miss")
+	}
+	// Phase 2: send every rank the pieces of its view that fall in my range.
+	for dr := 0; dr < c.Size(); dr++ {
+		var ps []piece
+		var bytes int64
+		for _, s := range all[dr] {
+			cl := clip(s, myLo, myHi)
+			if cl.Len > 0 {
+				ps = append(ps, piece{Off: cl.Off, Data: lookup(cl.Off, cl.Len)})
+				bytes += cl.Len
+			}
+		}
+		if dr == c.Rank() {
+			continue // keep own pieces local; they are in runs already
+		}
+		c.Send(dr, tag, bytes, ps)
+		if len(ps) > 0 {
+			f.ShuffleBytes += bytes
+			f.ShuffleMsgs++
+		}
+	}
+	// Collect pieces for my view from everyone (including my own range).
+	var mine []piece
+	for _, s := range mySegs {
+		cl := clip(s, myLo, myHi)
+		if cl.Len > 0 {
+			mine = append(mine, piece{Off: cl.Off, Data: lookup(cl.Off, cl.Len)})
+		}
+	}
+	for sr := 0; sr < c.Size(); sr++ {
+		if sr == c.Rank() {
+			continue
+		}
+		msg := c.Recv(sr, tag)
+		if msg.Data != nil {
+			mine = append(mine, msg.Data.([]piece)...)
+		}
+	}
+	// Assemble into packed view order.
+	var useful int64
+	for _, s := range mySegs {
+		useful += s.Len
+	}
+	out := make([]byte, useful)
+	filled := int64(0)
+	pos := make(map[int64]int64, len(mySegs)) // seg offset -> packed position
+	p := int64(0)
+	for _, s := range mySegs {
+		pos[s.Off] = p
+		p += s.Len
+	}
+	for _, pc := range mine {
+		// Find the containing view segment.
+		base, off := findSeg(mySegs, pc.Off)
+		if base < 0 {
+			return nil, fmt.Errorf("mpiio: received stray piece at %d", pc.Off)
+		}
+		copy(out[pos[base]+off:], pc.Data)
+		filled += int64(len(pc.Data))
+	}
+	if filled != useful {
+		return nil, fmt.Errorf("mpiio: two-phase assembled %d of %d bytes", filled, useful)
+	}
+	f.UsefulBytes += useful
+	return out, nil
+}
+
+// clip returns the part of s inside [lo, hi).
+func clip(s Segment, lo, hi int64) Segment {
+	o := s.Off
+	e := s.Off + s.Len
+	if o < lo {
+		o = lo
+	}
+	if e > hi {
+		e = hi
+	}
+	if e <= o {
+		return Segment{}
+	}
+	return Segment{Off: o, Len: e - o}
+}
+
+// findSeg locates the segment containing file offset off, returning the
+// segment's start offset and the offset within it, or (-1, 0).
+func findSeg(segs []Segment, off int64) (base, rel int64) {
+	for _, s := range segs {
+		if off >= s.Off && off < s.Off+s.Len {
+			return s.Off, off - s.Off
+		}
+	}
+	return -1, 0
+}

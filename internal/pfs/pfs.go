@@ -1,0 +1,174 @@
+// Package pfs provides the parallel-file-system abstraction the input
+// processors read from. A Store holds named objects (the octree file and
+// one node-data file per timestep). Reads are charged to the calling rank's
+// communicator via Comm.IORead, which models striped-parallel-FS bandwidth
+// (per-client channel + shared aggregate) under the simulated transport and
+// is free under the real transport.
+//
+// Two implementations are provided: MemStore (in-memory objects, plus
+// "virtual" objects that have a size but no bytes, for paper-scale cost
+// model runs) and DirStore (a directory of real files, for the command-line
+// tools).
+package pfs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// Store is the interface the I/O layer reads through.
+type Store interface {
+	// Size returns the byte size of the named object.
+	Size(name string) (int64, error)
+	// ReadAt fills buf from the object starting at off, charging the read
+	// (one seek + len(buf) bytes) to c. Virtual objects read as zeros.
+	ReadAt(c *mpi.Comm, name string, off int64, buf []byte) error
+	// Write creates or replaces an object with real contents.
+	Write(name string, data []byte) error
+}
+
+// MemStore is an in-memory Store, safe for concurrent ranks.
+type MemStore struct {
+	mu      sync.Mutex
+	objects map[string][]byte
+	virtual map[string]int64
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{objects: make(map[string][]byte), virtual: make(map[string]int64)}
+}
+
+// Write creates or replaces an object.
+func (s *MemStore) Write(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.objects[name] = append([]byte(nil), data...)
+	delete(s.virtual, name)
+	return nil
+}
+
+// CreateVirtual declares an object of the given size with no backing bytes;
+// reads of it succeed (zeros) and are charged normally. Used by paper-scale
+// model runs where a timestep is 400 MB of data that never materializes.
+func (s *MemStore) CreateVirtual(name string, size int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.virtual[name] = size
+	delete(s.objects, name)
+}
+
+// Size returns the object size.
+func (s *MemStore) Size(name string) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.objects[name]; ok {
+		return int64(len(b)), nil
+	}
+	if n, ok := s.virtual[name]; ok {
+		return n, nil
+	}
+	return 0, fmt.Errorf("pfs: object %q not found", name)
+}
+
+// ReadAt implements Store.
+func (s *MemStore) ReadAt(c *mpi.Comm, name string, off int64, buf []byte) error {
+	s.mu.Lock()
+	b, real := s.objects[name]
+	vsize, virt := s.virtual[name]
+	s.mu.Unlock()
+	var size int64
+	switch {
+	case real:
+		size = int64(len(b))
+	case virt:
+		size = vsize
+	default:
+		return fmt.Errorf("pfs: object %q not found", name)
+	}
+	if off < 0 || off+int64(len(buf)) > size {
+		return fmt.Errorf("pfs: read [%d,%d) out of range of %q (size %d)", off, off+int64(len(buf)), name, size)
+	}
+	if c != nil {
+		c.IORead(int64(len(buf)), 1)
+	}
+	if real {
+		copy(buf, b[off:])
+	} else {
+		for i := range buf {
+			buf[i] = 0
+		}
+	}
+	return nil
+}
+
+// DirStore reads and writes objects as files under a directory. Object
+// names map to file paths; path separators in names are preserved.
+type DirStore struct {
+	Dir string
+}
+
+// NewDirStore returns a store rooted at dir (created if missing).
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("pfs: %w", err)
+	}
+	return &DirStore{Dir: dir}, nil
+}
+
+func (s *DirStore) path(name string) (string, error) {
+	if strings.Contains(name, "..") {
+		return "", fmt.Errorf("pfs: invalid object name %q", name)
+	}
+	return filepath.Join(s.Dir, name), nil
+}
+
+// Size returns the file size.
+func (s *DirStore) Size(name string) (int64, error) {
+	p, err := s.path(name)
+	if err != nil {
+		return 0, err
+	}
+	fi, err := os.Stat(p)
+	if err != nil {
+		return 0, fmt.Errorf("pfs: %w", err)
+	}
+	return fi.Size(), nil
+}
+
+// ReadAt implements Store.
+func (s *DirStore) ReadAt(c *mpi.Comm, name string, off int64, buf []byte) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(p)
+	if err != nil {
+		return fmt.Errorf("pfs: %w", err)
+	}
+	defer f.Close()
+	if c != nil {
+		c.IORead(int64(len(buf)), 1)
+	}
+	if _, err := f.ReadAt(buf, off); err != nil {
+		return fmt.Errorf("pfs: read %q at %d: %w", name, off, err)
+	}
+	return nil
+}
+
+// Write creates or replaces a file.
+func (s *DirStore) Write(name string, data []byte) error {
+	p, err := s.path(name)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("pfs: %w", err)
+	}
+	return os.WriteFile(p, data, 0o644)
+}

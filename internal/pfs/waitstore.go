@@ -1,0 +1,79 @@
+package pfs
+
+import (
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// WaitStore wraps a Store so that Size and ReadAt block until the named
+// object has been published. It enables simulation-time visualization (the
+// paper's Section 7 goal): the solver writes timesteps while the pipeline
+// is already consuming them; input processors block on the next step
+// instead of failing.
+//
+// Only objects written through this wrapper (or marked with Publish) are
+// considered available.
+type WaitStore struct {
+	inner Store
+
+	mu    sync.Mutex
+	cond  *sync.Cond
+	ready map[string]bool
+	done  bool
+}
+
+// NewWaitStore wraps inner. Objects already in inner are NOT visible until
+// published.
+func NewWaitStore(inner Store) *WaitStore {
+	w := &WaitStore{inner: inner, ready: make(map[string]bool)}
+	w.cond = sync.NewCond(&w.mu)
+	return w
+}
+
+// Publish marks an existing inner object as available.
+func (w *WaitStore) Publish(name string) {
+	w.mu.Lock()
+	w.ready[name] = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// Close unblocks all waiters; subsequent waits on unpublished objects fail
+// through to the inner store (typically with a not-found error).
+func (w *WaitStore) Close() {
+	w.mu.Lock()
+	w.done = true
+	w.mu.Unlock()
+	w.cond.Broadcast()
+}
+
+// await blocks until name is published or the store is closed.
+func (w *WaitStore) await(name string) {
+	w.mu.Lock()
+	for !w.ready[name] && !w.done {
+		w.cond.Wait()
+	}
+	w.mu.Unlock()
+}
+
+// Size implements Store, blocking until the object is published.
+func (w *WaitStore) Size(name string) (int64, error) {
+	w.await(name)
+	return w.inner.Size(name)
+}
+
+// ReadAt implements Store, blocking until the object is published.
+func (w *WaitStore) ReadAt(c *mpi.Comm, name string, off int64, buf []byte) error {
+	w.await(name)
+	return w.inner.ReadAt(c, name, off, buf)
+}
+
+// Write stores and publishes the object.
+func (w *WaitStore) Write(name string, data []byte) error {
+	if err := w.inner.Write(name, data); err != nil {
+		return err
+	}
+	w.Publish(name)
+	return nil
+}

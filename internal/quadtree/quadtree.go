@@ -1,0 +1,195 @@
+// Package quadtree organizes the ground-surface mesh nodes for the 2D
+// vector-field visualization (paper Section 4.3): a point-region quadtree
+// over the scattered surface nodes supports nearest-sample queries, and
+// Resample derives the regular-grid vector field the LIC computation needs.
+package quadtree
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sample is one scattered data point: a position in the unit square and a
+// 2D vector value.
+type Sample struct {
+	X, Y   float64
+	VX, VY float64
+}
+
+// node is one quadtree cell; either a leaf holding up to cap samples or an
+// internal node with 4 children.
+type node struct {
+	x0, y0, size float64
+	samples      []int
+	children     *[4]node
+	used         bool
+}
+
+// Tree is a point-region quadtree over the unit square.
+type Tree struct {
+	samples []Sample
+	root    node
+	leafCap int
+	maxDep  int
+}
+
+// Build constructs the quadtree. leafCap bounds samples per leaf (default
+// 8).
+func Build(samples []Sample, leafCap int) (*Tree, error) {
+	if leafCap <= 0 {
+		leafCap = 8
+	}
+	for i, s := range samples {
+		if s.X < 0 || s.X > 1 || s.Y < 0 || s.Y > 1 || math.IsNaN(s.X) || math.IsNaN(s.Y) {
+			return nil, fmt.Errorf("quadtree: sample %d at (%v,%v) outside unit square", i, s.X, s.Y)
+		}
+	}
+	t := &Tree{samples: samples, leafCap: leafCap, maxDep: 24}
+	t.root = node{x0: 0, y0: 0, size: 1, used: true}
+	for i := range samples {
+		t.insert(&t.root, i, 0)
+	}
+	return t, nil
+}
+
+// Len returns the number of samples.
+func (t *Tree) Len() int { return len(t.samples) }
+
+func (t *Tree) insert(n *node, si int, depth int) {
+	if n.children == nil {
+		n.samples = append(n.samples, si)
+		if len(n.samples) > t.leafCap && depth < t.maxDep {
+			t.split(n)
+		}
+		return
+	}
+	t.insert(t.childFor(n, si), si, depth+1)
+}
+
+func (t *Tree) childFor(n *node, si int) *node {
+	s := t.samples[si]
+	h := n.size / 2
+	ix, iy := 0, 0
+	if s.X >= n.x0+h {
+		ix = 1
+	}
+	if s.Y >= n.y0+h {
+		iy = 1
+	}
+	return &n.children[ix+2*iy]
+}
+
+func (t *Tree) split(n *node) {
+	h := n.size / 2
+	n.children = &[4]node{
+		{x0: n.x0, y0: n.y0, size: h, used: true},
+		{x0: n.x0 + h, y0: n.y0, size: h, used: true},
+		{x0: n.x0, y0: n.y0 + h, size: h, used: true},
+		{x0: n.x0 + h, y0: n.y0 + h, size: h, used: true},
+	}
+	old := n.samples
+	n.samples = nil
+	for _, si := range old {
+		t.childFor(n, si).samples = append(t.childFor(n, si).samples, si)
+	}
+}
+
+// Nearest returns the index of the sample closest to (x, y), or -1 for an
+// empty tree. Standard best-first quadtree search with pruning.
+func (t *Tree) Nearest(x, y float64) int {
+	best := -1
+	bestD := math.Inf(1)
+	var visit func(n *node)
+	visit = func(n *node) {
+		// Prune: minimum possible distance from (x,y) to the cell.
+		dx := math.Max(0, math.Max(n.x0-x, x-(n.x0+n.size)))
+		dy := math.Max(0, math.Max(n.y0-y, y-(n.y0+n.size)))
+		if dx*dx+dy*dy >= bestD {
+			return
+		}
+		if n.children != nil {
+			// Visit the child containing the query first.
+			h := n.size / 2
+			ix, iy := 0, 0
+			if x >= n.x0+h {
+				ix = 1
+			}
+			if y >= n.y0+h {
+				iy = 1
+			}
+			first := ix + 2*iy
+			visit(&n.children[first])
+			for c := 0; c < 4; c++ {
+				if c != first {
+					visit(&n.children[c])
+				}
+			}
+			return
+		}
+		for _, si := range n.samples {
+			s := t.samples[si]
+			d := (s.X-x)*(s.X-x) + (s.Y-y)*(s.Y-y)
+			if d < bestD {
+				bestD = d
+				best = si
+			}
+		}
+	}
+	visit(&t.root)
+	return best
+}
+
+// Grid is a regular 2D vector field resampled from the quadtree.
+type Grid struct {
+	W, H   int
+	VX, VY []float64
+}
+
+// At returns the bilinearly interpolated vector at unit coordinates (x,y).
+func (g *Grid) At(x, y float64) (vx, vy float64) {
+	fx := math.Max(0, math.Min(x, 1)) * float64(g.W-1)
+	fy := math.Max(0, math.Min(y, 1)) * float64(g.H-1)
+	ix := int(fx)
+	iy := int(fy)
+	if ix >= g.W-1 {
+		ix = g.W - 2
+	}
+	if iy >= g.H-1 {
+		iy = g.H - 2
+	}
+	tx := fx - float64(ix)
+	ty := fy - float64(iy)
+	id := func(x, y int) int { return y*g.W + x }
+	lerp2 := func(v []float64) float64 {
+		v00 := v[id(ix, iy)]
+		v10 := v[id(ix+1, iy)]
+		v01 := v[id(ix, iy+1)]
+		v11 := v[id(ix+1, iy+1)]
+		return v00*(1-tx)*(1-ty) + v10*tx*(1-ty) + v01*(1-tx)*ty + v11*tx*ty
+	}
+	return lerp2(g.VX), lerp2(g.VY)
+}
+
+// Resample derives a w×h regular-grid vector field by nearest-sample lookup
+// through the quadtree — the step the paper performs on the input
+// processors before LIC ("a 2D regular-grid vector field is derived using
+// the underlying quadtree").
+func (t *Tree) Resample(w, h int) (*Grid, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("quadtree: resample grid %dx%d too small", w, h)
+	}
+	if t.Len() == 0 {
+		return nil, fmt.Errorf("quadtree: resampling an empty tree")
+	}
+	g := &Grid{W: w, H: h, VX: make([]float64, w*h), VY: make([]float64, w*h)}
+	for j := 0; j < h; j++ {
+		y := float64(j) / float64(h-1)
+		for i := 0; i < w; i++ {
+			x := float64(i) / float64(w-1)
+			si := t.Nearest(x, y)
+			g.VX[j*w+i] = t.samples[si].VX
+			g.VY[j*w+i] = t.samples[si].VY
+		}
+	}
+	return g, nil
+}

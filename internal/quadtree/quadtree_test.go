@@ -1,0 +1,179 @@
+package quadtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildRejectsOutOfRange(t *testing.T) {
+	if _, err := Build([]Sample{{X: 2, Y: 0}}, 4); err == nil {
+		t.Error("out-of-range sample accepted")
+	}
+	if _, err := Build([]Sample{{X: math.NaN(), Y: 0}}, 4); err == nil {
+		t.Error("NaN sample accepted")
+	}
+}
+
+func TestNearestExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	samples := make([]Sample, 300)
+	for i := range samples {
+		samples[i] = Sample{X: rng.Float64(), Y: rng.Float64(), VX: rng.Float64(), VY: rng.Float64()}
+	}
+	tr, err := Build(samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 200; q++ {
+		x, y := rng.Float64(), rng.Float64()
+		got := tr.Nearest(x, y)
+		best, bd := -1, math.Inf(1)
+		for i, s := range samples {
+			d := (s.X-x)*(s.X-x) + (s.Y-y)*(s.Y-y)
+			if d < bd {
+				bd, best = d, i
+			}
+		}
+		if got != best {
+			gs := samples[got]
+			gd := (gs.X-x)*(gs.X-x) + (gs.Y-y)*(gs.Y-y)
+			if math.Abs(gd-bd) > 1e-15 { // ties are acceptable
+				t.Fatalf("Nearest(%v,%v) = %d (d=%v), want %d (d=%v)", x, y, got, gd, best, bd)
+			}
+		}
+	}
+}
+
+func TestNearestEmpty(t *testing.T) {
+	tr, _ := Build(nil, 4)
+	if tr.Nearest(0.5, 0.5) != -1 {
+		t.Error("empty tree returned a sample")
+	}
+}
+
+func TestNearestQuick(t *testing.T) {
+	f := func(seed int64, qx, qy float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		samples := make([]Sample, n)
+		for i := range samples {
+			samples[i] = Sample{X: rng.Float64(), Y: rng.Float64()}
+		}
+		tr, err := Build(samples, 2)
+		if err != nil {
+			return false
+		}
+		x := math.Abs(math.Mod(qx, 1))
+		y := math.Abs(math.Mod(qy, 1))
+		if math.IsNaN(x) || math.IsNaN(y) {
+			x, y = 0.5, 0.5
+		}
+		got := tr.Nearest(x, y)
+		bd := math.Inf(1)
+		for _, s := range samples {
+			d := (s.X-x)*(s.X-x) + (s.Y-y)*(s.Y-y)
+			if d < bd {
+				bd = d
+			}
+		}
+		gs := samples[got]
+		gd := (gs.X-x)*(gs.X-x) + (gs.Y-y)*(gs.Y-y)
+		return gd <= bd+1e-15
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDuplicatePointsDoNotRecurseForever(t *testing.T) {
+	samples := make([]Sample, 50)
+	for i := range samples {
+		samples[i] = Sample{X: 0.25, Y: 0.75, VX: float64(i)}
+	}
+	tr, err := Build(samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Nearest(0.25, 0.75) < 0 {
+		t.Error("nearest failed on duplicates")
+	}
+}
+
+func TestResampleConstantField(t *testing.T) {
+	var samples []Sample
+	for i := 0; i < 10; i++ {
+		for j := 0; j < 10; j++ {
+			samples = append(samples, Sample{X: float64(i) / 9, Y: float64(j) / 9, VX: 2, VY: -1})
+		}
+	}
+	tr, _ := Build(samples, 4)
+	g, err := tr.Resample(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range g.VX {
+		if g.VX[i] != 2 || g.VY[i] != -1 {
+			t.Fatalf("grid[%d] = (%v,%v)", i, g.VX[i], g.VY[i])
+		}
+	}
+	vx, vy := g.At(0.33, 0.77)
+	if vx != 2 || vy != -1 {
+		t.Errorf("At = (%v,%v)", vx, vy)
+	}
+}
+
+func TestResampleRecoversSmoothField(t *testing.T) {
+	// Dense scattered samples of a smooth field: the resampled grid should
+	// approximate it.
+	rng := rand.New(rand.NewSource(8))
+	var samples []Sample
+	f := func(x, y float64) (float64, float64) { return math.Sin(3 * y), math.Cos(3 * x) }
+	for i := 0; i < 3000; i++ {
+		x, y := rng.Float64(), rng.Float64()
+		vx, vy := f(x, y)
+		samples = append(samples, Sample{X: x, Y: y, VX: vx, VY: vy})
+	}
+	tr, _ := Build(samples, 8)
+	g, err := tr.Resample(24, 24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errSum float64
+	n := 0
+	for j := 0; j < 24; j++ {
+		for i := 0; i < 24; i++ {
+			x, y := float64(i)/23, float64(j)/23
+			wx, wy := f(x, y)
+			errSum += math.Hypot(g.VX[j*24+i]-wx, g.VY[j*24+i]-wy)
+			n++
+		}
+	}
+	if avg := errSum / float64(n); avg > 0.15 {
+		t.Errorf("average resample error %v too high", avg)
+	}
+}
+
+func TestResampleErrors(t *testing.T) {
+	tr, _ := Build([]Sample{{X: 0.5, Y: 0.5}}, 4)
+	if _, err := tr.Resample(1, 8); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+	empty, _ := Build(nil, 4)
+	if _, err := empty.Resample(8, 8); err == nil {
+		t.Error("empty tree resample succeeded")
+	}
+}
+
+func TestGridAtClamps(t *testing.T) {
+	g := &Grid{W: 2, H: 2, VX: []float64{1, 2, 3, 4}, VY: make([]float64, 4)}
+	vx, _ := g.At(-0.5, 0)
+	if vx != 1 {
+		t.Errorf("clamped At = %v", vx)
+	}
+	vx, _ = g.At(1.5, 1.5)
+	if vx != 4 {
+		t.Errorf("clamped At = %v", vx)
+	}
+}

@@ -1,0 +1,79 @@
+package quake
+
+import (
+	"math"
+
+	"repro/internal/mesh"
+)
+
+// BasinModel is a simplified Los Angeles-basin-like material model: a
+// depth-layered halfspace with velocities increasing with depth, plus an
+// ellipsoidal sedimentary basin of much slower material near the surface.
+// The mesh refines where Vs is low, so the basin gets the finest elements —
+// the same structure as the paper's mesh ("most dense near the ground
+// surface", >20% of nodes near the surface).
+//
+// Coordinates are unit-cube: z = 0 is the free ground surface, z = 1 the
+// domain bottom.
+type BasinModel struct {
+	// Halfspace layering: Vs rises from VsSurface at z=0 to VsBottom at z=1.
+	VsSurface, VsBottom float64
+	// Basin: ellipsoid centered at (Cx, Cy, 0) with semi-axes (Rx, Ry, Rz).
+	Cx, Cy, Rx, Ry, Rz float64
+	VsBasin            float64
+	// VpOverVs is the Vp/Vs ratio (typ. ~1.8); Rho in kg/m^3.
+	VpOverVs, Rho float64
+	// Rim is the normalized radius where the basin starts blending into
+	// the halfspace (0 = blend from the center; 0.7 = flat-bottomed basin
+	// with a sharp rim, closer to real sedimentary basins).
+	Rim float64
+}
+
+// DefaultBasin returns the model used by the examples and tests.
+func DefaultBasin() *BasinModel {
+	return &BasinModel{
+		VsSurface: 800, VsBottom: 3200,
+		Cx: 0.5, Cy: 0.5, Rx: 0.35, Ry: 0.28, Rz: 0.18,
+		VsBasin:  250,
+		VpOverVs: 1.8, Rho: 2300,
+	}
+}
+
+// At implements mesh.Model.
+func (b *BasinModel) At(p [3]float64) mesh.Material {
+	vs := b.VsSurface + (b.VsBottom-b.VsSurface)*p[2]
+	// Inside the basin ellipsoid the material is soft; blend at the rim.
+	dx := (p[0] - b.Cx) / b.Rx
+	dy := (p[1] - b.Cy) / b.Ry
+	dz := p[2] / b.Rz
+	r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	if r < 1 {
+		t := r
+		if b.Rim > 0 && b.Rim < 1 {
+			t = (r - b.Rim) / (1 - b.Rim) // flat bottom, blend at the rim
+		}
+		blend := smooth(t) // 0 inside -> 1 at the rim
+		vs = b.VsBasin + (vs-b.VsBasin)*blend
+	}
+	return mesh.Material{Rho: b.Rho, Vs: vs, Vp: b.VpOverVs * vs}
+}
+
+// smooth is the C1 smoothstep on [0,1].
+func smooth(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	if t >= 1 {
+		return 1
+	}
+	return t * t * (3 - 2*t)
+}
+
+// UniformModel is a homogeneous halfspace, useful for verification tests
+// (plane-wave arrival times, energy behaviour).
+type UniformModel struct {
+	M mesh.Material
+}
+
+// At implements mesh.Model.
+func (u UniformModel) At(p [3]float64) mesh.Material { return u.M }

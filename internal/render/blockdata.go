@@ -1,0 +1,258 @@
+package render
+
+import (
+	"fmt"
+
+	"repro/internal/mesh"
+	"repro/internal/octree"
+)
+
+// BlockData is the render-ready form of one octree block at a chosen
+// resolution level: the block's cells (leaves, or their ancestors when
+// rendering adaptively at a coarser level) with the eight corner scalar
+// values of each cell. This is what the input processors extract from the
+// raw node array and ship to the rendering processors.
+type BlockData struct {
+	Root  octree.Cell
+	Cells []octree.Cell
+	Vals  [][8]float32 // corner values per cell, x-fastest corner order
+
+	pos     map[octree.Cell]int
+	minSize float64
+}
+
+// SizeBytes estimates the payload size of the block for transfer modeling.
+func (b *BlockData) SizeBytes() int64 {
+	return int64(len(b.Cells))*(13+32) + 16
+}
+
+// NumCells returns the cell count.
+func (b *BlockData) NumCells() int { return len(b.Cells) }
+
+// MaxValue returns the largest corner value in the block — the renderer's
+// empty-space test: a block whose maximum maps to zero density cannot
+// contribute any pixels and is skipped wholesale.
+func (b *BlockData) MaxValue() float32 {
+	var mx float32
+	for i := range b.Vals {
+		for _, v := range b.Vals[i] {
+			if v > mx {
+				mx = v
+			}
+		}
+	}
+	return mx
+}
+
+// index builds the point-location index.
+func (b *BlockData) index() {
+	if b.pos != nil {
+		return
+	}
+	b.pos = make(map[octree.Cell]int, len(b.Cells))
+	b.minSize = 1.0
+	for i, c := range b.Cells {
+		b.pos[c] = i
+		if s := c.Size(); s < b.minSize {
+			b.minSize = s
+		}
+	}
+}
+
+// MinCellSize returns the smallest cell edge in the block (unit cube).
+func (b *BlockData) MinCellSize() float64 {
+	b.index()
+	return b.minSize
+}
+
+// find locates the cell containing unit point p, or -1.
+func (b *BlockData) find(p Vec3) int {
+	b.index()
+	for l := b.Root.Level; l <= octree.MaxLevel; l++ {
+		if i, ok := b.pos[octree.CellAt(p, l)]; ok {
+			return i
+		}
+	}
+	return -1
+}
+
+// Sample interpolates the scalar field at unit point p; ok is false outside
+// the block. hint carries the previously hit cell index for ray coherence;
+// pass -1 initially.
+func (b *BlockData) Sample(p Vec3, hint int) (v float64, cell int, ok bool) {
+	if hint >= 0 && hint < len(b.Cells) && b.Cells[hint].ContainsPoint(p) {
+		cell = hint
+	} else {
+		cell = b.find(p)
+		if cell < 0 {
+			return 0, -1, false
+		}
+	}
+	c := b.Cells[cell]
+	min, _ := c.Bounds()
+	inv := 1 / c.Size()
+	x := (p[0] - min[0]) * inv
+	y := (p[1] - min[1]) * inv
+	z := (p[2] - min[2]) * inv
+	vv := &b.Vals[cell]
+	// Trilinear interpolation over x-fastest corners.
+	c00 := float64(vv[0]) + x*(float64(vv[1])-float64(vv[0]))
+	c10 := float64(vv[2]) + x*(float64(vv[3])-float64(vv[2]))
+	c01 := float64(vv[4]) + x*(float64(vv[5])-float64(vv[4]))
+	c11 := float64(vv[6]) + x*(float64(vv[7])-float64(vv[6]))
+	c0 := c00 + y*(c10-c00)
+	c1 := c01 + y*(c11-c01)
+	return c0 + z*(c1-c0), cell, true
+}
+
+// Gradient estimates the field gradient at p by central differences with a
+// step of half the local cell size.
+func (b *BlockData) Gradient(p Vec3, cell int) Vec3 {
+	h := b.Cells[cell].Size() * 0.5
+	var g Vec3
+	for i := 0; i < 3; i++ {
+		pp, pm := p, p
+		pp[i] += h
+		pm[i] -= h
+		vp, _, okp := b.Sample(pp, cell)
+		vm, _, okm := b.Sample(pm, cell)
+		if !okp || !okm {
+			vc, _, _ := b.Sample(p, cell)
+			if okp {
+				g[i] = (vp - vc) / h
+			} else if okm {
+				g[i] = (vc - vm) / h
+			}
+			continue
+		}
+		g[i] = (vp - vm) / (2 * h)
+	}
+	return g
+}
+
+// ExtractBlockData builds the render-ready data for one block of the mesh
+// at the given level: cells are the block's leaves, coarsened to `level`
+// when they are finer (adaptive rendering), and corner values are gathered
+// from the node scalar array. Scalar must be indexed by node id.
+func ExtractBlockData(m *mesh.Mesh, scalar []float32, block octree.Block, level uint8) (*BlockData, error) {
+	if len(scalar) < m.NumNodes() {
+		return nil, fmt.Errorf("render: scalar array has %d entries for %d nodes", len(scalar), m.NumNodes())
+	}
+	bd := &BlockData{Root: block.Root}
+	if level < block.Root.Level {
+		level = block.Root.Level // cells cannot be coarser than the block
+	}
+	seen := make(map[octree.Cell]bool)
+	for _, li := range block.Leaves {
+		leaf := m.Tree.Leaves[li]
+		cell := leaf
+		if leaf.Level > level {
+			cell = leaf.AncestorAt(level)
+		}
+		if seen[cell] {
+			continue
+		}
+		seen[cell] = true
+		var vals [8]float32
+		if cell == leaf {
+			for i, nid := range m.Elems[li].N {
+				vals[i] = scalar[nid]
+			}
+		} else {
+			x, y, z := cell.Anchor()
+			step := uint32(1) << (octree.MaxLevel - cell.Level)
+			for i := 0; i < 8; i++ {
+				g := mesh.GridCoord{
+					x + step*uint32(i&1),
+					y + step*uint32(i>>1&1),
+					z + step*uint32(i>>2&1),
+				}
+				nid, ok := m.NodeIndex[g]
+				if !ok {
+					return nil, fmt.Errorf("render: missing corner node %v for cell %v", g, cell)
+				}
+				vals[i] = scalar[nid]
+			}
+		}
+		bd.Cells = append(bd.Cells, cell)
+		bd.Vals = append(bd.Vals, vals)
+	}
+	return bd, nil
+}
+
+// BlockNodeIDs returns the sorted unique node ids needed to extract the
+// block at the given level — the read set used for adaptive fetching with
+// MPI-IO indexed reads.
+func BlockNodeIDs(m *mesh.Mesh, block octree.Block, level uint8) []int32 {
+	set := make(map[int32]bool)
+	if level < block.Root.Level {
+		level = block.Root.Level
+	}
+	seen := make(map[octree.Cell]bool)
+	for _, li := range block.Leaves {
+		leaf := m.Tree.Leaves[li]
+		cell := leaf
+		if leaf.Level > level {
+			cell = leaf.AncestorAt(level)
+		}
+		if seen[cell] {
+			continue
+		}
+		seen[cell] = true
+		if cell == leaf {
+			for _, nid := range m.Elems[li].N {
+				set[nid] = true
+			}
+			continue
+		}
+		x, y, z := cell.Anchor()
+		step := uint32(1) << (octree.MaxLevel - cell.Level)
+		for i := 0; i < 8; i++ {
+			g := mesh.GridCoord{x + step*uint32(i&1), y + step*uint32(i>>1&1), z + step*uint32(i>>2&1)}
+			if nid, ok := m.NodeIndex[g]; ok {
+				set[nid] = true
+			}
+		}
+	}
+	out := make([]int32, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sortInt32s(out)
+	return out
+}
+
+func sortInt32s(s []int32) {
+	if len(s) < 2 {
+		return
+	}
+	// Simple quicksort to avoid pulling in sort for int32 slices hot path.
+	var qs func(lo, hi int)
+	qs = func(lo, hi int) {
+		for lo < hi {
+			p := s[(lo+hi)/2]
+			i, j := lo, hi
+			for i <= j {
+				for s[i] < p {
+					i++
+				}
+				for s[j] > p {
+					j--
+				}
+				if i <= j {
+					s[i], s[j] = s[j], s[i]
+					i++
+					j--
+				}
+			}
+			if j-lo < hi-i {
+				qs(lo, j)
+				lo = i
+			} else {
+				qs(i, hi)
+				hi = j
+			}
+		}
+	}
+	qs(0, len(s)-1)
+}

@@ -1,0 +1,102 @@
+package render
+
+import "math"
+
+// Magnitude converts a 3-component vector node array into per-node
+// magnitudes (the scalar field the paper volume-renders).
+func Magnitude(vec []float32) []float32 {
+	n := len(vec) / 3
+	out := make([]float32, n)
+	for i := 0; i < n; i++ {
+		x := float64(vec[3*i])
+		y := float64(vec[3*i+1])
+		z := float64(vec[3*i+2])
+		out[i] = float32(math.Sqrt(x*x + y*y + z*z))
+	}
+	return out
+}
+
+// Normalize maps values into [0,1] by the given range; lo==hi maps to 0.
+func Normalize(vals []float32, lo, hi float32) []float32 {
+	out := make([]float32, len(vals))
+	if hi <= lo {
+		return out
+	}
+	inv := 1 / (hi - lo)
+	for i, v := range vals {
+		s := (v - lo) * inv
+		if s < 0 {
+			s = 0
+		} else if s > 1 {
+			s = 1
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// MinMax returns the value range of the array.
+func MinMax(vals []float32) (lo, hi float32) {
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	lo, hi = vals[0], vals[0]
+	for _, v := range vals[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return
+}
+
+// EnhanceTemporal applies the paper's temporal-domain enhancement filter
+// (Section 4.2): the value at each node is boosted by the local change from
+// the previous timestep, bringing out propagating wavefronts whose absolute
+// amplitude has decayed. cur and prev are node scalar arrays; gain scales
+// the temporal-difference term. prev may be nil (no enhancement).
+func EnhanceTemporal(cur, prev []float32, gain float32) []float32 {
+	if prev == nil || gain == 0 {
+		return cur
+	}
+	out := make([]float32, len(cur))
+	for i, v := range cur {
+		d := v - prev[i]
+		if d < 0 {
+			d = -d
+		}
+		out[i] = v + gain*d
+	}
+	return out
+}
+
+// Quantize converts float32 samples to 8-bit using the given range — the
+// 32-bit -> 8-bit preprocessing the input processors perform.
+func Quantize(vals []float32, lo, hi float32) []uint8 {
+	out := make([]uint8, len(vals))
+	if hi <= lo {
+		return out
+	}
+	inv := 255 / (hi - lo)
+	for i, v := range vals {
+		s := (v - lo) * inv
+		if s < 0 {
+			s = 0
+		} else if s > 255 {
+			s = 255
+		}
+		out[i] = uint8(s + 0.5)
+	}
+	return out
+}
+
+// Dequantize maps 8-bit samples back into [0,1] scalars for rendering.
+func Dequantize(q []uint8) []float32 {
+	out := make([]float32, len(q))
+	for i, v := range q {
+		out[i] = float32(v) / 255
+	}
+	return out
+}

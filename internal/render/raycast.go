@@ -1,0 +1,246 @@
+package render
+
+import (
+	"math"
+
+	"repro/internal/img"
+	"repro/internal/mesh"
+	"repro/internal/octree"
+)
+
+// Fragment is the partial image a rendering processor produces for one
+// block: a subrectangle of the final image plus the block's position in the
+// global front-to-back visibility order.
+type Fragment struct {
+	X0, Y0  int
+	Img     *img.Image
+	VisRank int // position in the view's visibility order
+}
+
+// Renderer holds the rendering parameters shared by all blocks.
+type Renderer struct {
+	TF           *TransferFunction
+	StepScale    float64 // ray step as a fraction of the local cell size (default 0.5)
+	DensityScale float64 // global extinction multiplier (default 1)
+	Lighting     bool
+	LightDir     Vec3    // direction toward the light
+	Ambient      float64 // ambient lighting term (default 0.35)
+
+	// EarlyTermination stops rays whose opacity exceeds this (default 0.99).
+	EarlyTermination float64
+}
+
+// NewRenderer returns a renderer with the default seismic transfer function.
+func NewRenderer() *Renderer {
+	return &Renderer{
+		TF:               SeismicTF(),
+		StepScale:        0.5,
+		DensityScale:     1,
+		LightDir:         norm(Vec3{-0.4, -0.5, -0.76}),
+		Ambient:          0.35,
+		EarlyTermination: 0.99,
+	}
+}
+
+func (r *Renderer) defaults() {
+	if r.StepScale <= 0 {
+		r.StepScale = 0.5
+	}
+	if r.DensityScale <= 0 {
+		r.DensityScale = 1
+	}
+	if r.EarlyTermination <= 0 {
+		r.EarlyTermination = 0.99
+	}
+	if r.Ambient == 0 {
+		r.Ambient = 0.35
+	}
+	if r.TF == nil {
+		r.TF = SeismicTF()
+	}
+}
+
+// RenderBlock ray-casts one block and returns its fragment, or nil when the
+// block's projection misses the image entirely or the block is empty space
+// (its maximum value maps to zero density everywhere).
+func (r *Renderer) RenderBlock(bd *BlockData, view *View) *Fragment {
+	r.defaults()
+	if r.TF.TransparentBelow(float64(bd.MaxValue())) {
+		return nil // empty-space skipping
+	}
+	bmin, bmax := bd.Root.Bounds()
+	// Projected bounding rectangle.
+	fx0, fy0 := math.Inf(1), math.Inf(1)
+	fx1, fy1 := math.Inf(-1), math.Inf(-1)
+	for i := 0; i < 8; i++ {
+		p := Vec3{bmin[0], bmin[1], bmin[2]}
+		if i&1 != 0 {
+			p[0] = bmax[0]
+		}
+		if i&2 != 0 {
+			p[1] = bmax[1]
+		}
+		if i&4 != 0 {
+			p[2] = bmax[2]
+		}
+		x, y := view.Project(p)
+		fx0, fy0 = math.Min(fx0, x), math.Min(fy0, y)
+		fx1, fy1 = math.Max(fx1, x), math.Max(fy1, y)
+	}
+	x0 := clampInt(int(math.Floor(fx0)), 0, view.Width)
+	y0 := clampInt(int(math.Floor(fy0)), 0, view.Height)
+	x1 := clampInt(int(math.Ceil(fx1))+1, 0, view.Width)
+	y1 := clampInt(int(math.Ceil(fy1))+1, 0, view.Height)
+	if x1 <= x0 || y1 <= y0 {
+		return nil
+	}
+	frag := &Fragment{X0: x0, Y0: y0, Img: img.New(x1-x0, y1-y0)}
+	step := r.StepScale * bd.MinCellSize()
+	if step <= 0 {
+		step = 1e-3
+	}
+	for py := y0; py < y1; py++ {
+		for px := x0; px < x1; px++ {
+			o, d := view.Ray(px, py)
+			t0, t1, hit := rayBox(o, d, bmin, bmax)
+			if !hit {
+				continue
+			}
+			if t0 < 0 {
+				t0 = 0
+			}
+			cr, cg, cb, ca := r.castRay(bd, o, d, t0, t1, step)
+			if ca > 0 {
+				frag.Img.Set(px-x0, py-y0, cr, cg, cb, ca)
+			}
+		}
+	}
+	return frag
+}
+
+// castRay integrates the volume rendering equation front-to-back along one
+// ray segment.
+func (r *Renderer) castRay(bd *BlockData, o, d Vec3, t0, t1, step float64) (cr, cg, cb, ca float32) {
+	var ar, ag, ab, aa float64
+	cell := -1
+	for t := t0 + step/2; t < t1; t += step {
+		p := Vec3{o[0] + t*d[0], o[1] + t*d[1], o[2] + t*d[2]}
+		v, c2, ok := bd.Sample(p, cell)
+		cell = c2
+		if !ok {
+			continue
+		}
+		er, eg, eb, density := r.TF.Lookup(v)
+		if density <= 0 {
+			continue
+		}
+		alpha := 1 - math.Exp(-density*r.DensityScale*step)
+		if r.Lighting {
+			g := bd.Gradient(p, cell)
+			gl := math.Sqrt(dot(g, g))
+			if gl > 1e-9 {
+				n := scale(g, 1/gl)
+				diff := dot(n, r.LightDir)
+				if diff < 0 {
+					diff = -diff // double-sided shading for volumes
+				}
+				shade := r.Ambient + (1-r.Ambient)*diff
+				er *= shade
+				eg *= shade
+				eb *= shade
+			} else {
+				er *= r.Ambient
+				eg *= r.Ambient
+				eb *= r.Ambient
+			}
+		}
+		w := (1 - aa) * alpha
+		ar += w * er
+		ag += w * eg
+		ab += w * eb
+		aa += w
+		if aa >= r.EarlyTermination {
+			break
+		}
+	}
+	return float32(ar), float32(ag), float32(ab), float32(aa)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// CompositeFragments assembles fragments into a full image by compositing
+// in visibility order (front to back): fragments with lower VisRank are in
+// front.
+func CompositeFragments(w, h int, frags []*Fragment) *img.Image {
+	ordered := append([]*Fragment(nil), frags...)
+	// Insertion sort by VisRank (fragment counts are small).
+	for i := 1; i < len(ordered); i++ {
+		for j := i; j > 0 && ordered[j].VisRank < ordered[j-1].VisRank; j-- {
+			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+		}
+	}
+	out := img.New(w, h)
+	for _, f := range ordered {
+		if f == nil || f.Img == nil {
+			continue
+		}
+		for y := 0; y < f.Img.H; y++ {
+			gy := f.Y0 + y
+			if gy < 0 || gy >= h {
+				continue
+			}
+			for x := 0; x < f.Img.W; x++ {
+				gx := f.X0 + x
+				if gx < 0 || gx >= w {
+					continue
+				}
+				sr, sg, sb, sa := f.Img.At(x, y)
+				if sa == 0 {
+					continue
+				}
+				dr, dg, db, da := out.At(gx, gy)
+				// dst is in front (earlier visibility): dst over src.
+				t := 1 - da
+				out.Set(gx, gy, dr+t*sr, dg+t*sg, db+t*sb, da+t*sa)
+			}
+		}
+	}
+	return out
+}
+
+// RenderSerial is the reference single-process renderer: extract every
+// block at the level, render, and composite. It is used by tests to verify
+// the distributed pipeline pixel-for-pixel and by the Figure 3 experiment.
+func RenderSerial(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel, level uint8, view *View) (*img.Image, error) {
+	blocks := m.Tree.Blocks(blockLevel)
+	cells := make([]octree.Cell, len(blocks))
+	for i, b := range blocks {
+		cells[i] = b.Root
+	}
+	order := octree.VisibilityOrder(cells, view.ViewDir())
+	rank := make([]int, len(blocks))
+	for vis, bi := range order {
+		rank[bi] = vis
+	}
+	var frags []*Fragment
+	for i, b := range blocks {
+		bd, err := ExtractBlockData(m, scalar, b, level)
+		if err != nil {
+			return nil, err
+		}
+		f := rr.RenderBlock(bd, view)
+		if f != nil {
+			f.VisRank = rank[i]
+			frags = append(frags, f)
+		}
+	}
+	return CompositeFragments(view.Width, view.Height, frags), nil
+}

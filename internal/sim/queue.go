@@ -1,0 +1,62 @@
+package sim
+
+// Queue is an unbounded FIFO message queue for simulation processes.
+// Put never blocks and may be called from kernel context (event callbacks)
+// or from any process. Get blocks the calling process until an item is
+// available.
+type Queue struct {
+	k       *Kernel
+	items   []any
+	waiters []*Proc
+}
+
+// NewQueue returns an empty queue bound to k.
+func NewQueue(k *Kernel) *Queue { return &Queue{k: k} }
+
+// Len reports the number of queued items.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Put appends v and wakes one waiting receiver, if any.
+func (q *Queue) Put(v any) {
+	q.items = append(q.items, v)
+	q.wakeOne()
+}
+
+func (q *Queue) wakeOne() {
+	for len(q.waiters) > 0 {
+		w := q.waiters[0]
+		q.waiters = q.waiters[1:]
+		if !w.dead {
+			q.k.Unpark(w)
+			return
+		}
+	}
+}
+
+// Get removes and returns the oldest item, blocking the process while the
+// queue is empty.
+func (q *Queue) Get(p *Proc) any {
+	for len(q.items) == 0 {
+		q.waiters = append(q.waiters, p)
+		p.Park()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	// If items remain and other receivers are waiting, cascade the wake so
+	// no item sits unclaimed while a receiver is parked.
+	if len(q.items) > 0 {
+		q.wakeOne()
+	}
+	return v
+}
+
+// TryGet removes and returns the oldest item without blocking; ok is false
+// if the queue is empty.
+func (q *Queue) TryGet() (v any, ok bool) {
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}

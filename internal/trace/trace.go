@@ -1,0 +1,127 @@
+// Package trace provides the small reporting utilities the experiment
+// harness uses: aligned text tables for the figure reproductions and a
+// stage timer for profiling pipeline runs.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, floats with %.3g.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", x)
+		case float32:
+			row[i] = fmt.Sprintf("%.3f", x)
+		default:
+			row[i] = fmt.Sprintf("%v", x)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// Render writes the table.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "## %s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	line(t.headers)
+	sep := make([]string, len(t.headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// Timer accumulates named wall-clock durations.
+type Timer struct {
+	totals map[string]time.Duration
+	order  []string
+}
+
+// NewTimer returns an empty timer.
+func NewTimer() *Timer { return &Timer{totals: make(map[string]time.Duration)} }
+
+// Time runs fn and charges its duration to the named stage.
+func (t *Timer) Time(stage string, fn func()) {
+	start := time.Now()
+	fn()
+	t.Add(stage, time.Since(start))
+}
+
+// Add charges a duration to a stage.
+func (t *Timer) Add(stage string, d time.Duration) {
+	if _, ok := t.totals[stage]; !ok {
+		t.order = append(t.order, stage)
+	}
+	t.totals[stage] += d
+}
+
+// Get returns a stage's accumulated time.
+func (t *Timer) Get(stage string) time.Duration { return t.totals[stage] }
+
+// Summary renders one line per stage in first-use order.
+func (t *Timer) Summary() string {
+	var b strings.Builder
+	for _, s := range t.order {
+		fmt.Fprintf(&b, "%-16s %10.3fs\n", s, t.totals[s].Seconds())
+	}
+	return b.String()
+}

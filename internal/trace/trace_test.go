@@ -1,0 +1,52 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("x", 1.5)
+	tb.AddRow("longer-name", 22)
+	out := tb.String()
+	if !strings.Contains(out, "## demo") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Header and rows start aligned at the same column for field 2.
+	if !strings.Contains(lines[3], "1.500") {
+		t.Errorf("float formatting: %q", lines[3])
+	}
+	if tb.NumRows() != 2 {
+		t.Error("row count")
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(1)
+	if strings.HasPrefix(tb.String(), "##") {
+		t.Error("unexpected title")
+	}
+}
+
+func TestTimer(t *testing.T) {
+	tm := NewTimer()
+	tm.Time("stage1", func() { time.Sleep(time.Millisecond) })
+	tm.Add("stage2", 2*time.Second)
+	tm.Add("stage1", time.Second)
+	if tm.Get("stage1") < time.Second {
+		t.Error("stage1 accumulation")
+	}
+	sum := tm.Summary()
+	i1 := strings.Index(sum, "stage1")
+	i2 := strings.Index(sum, "stage2")
+	if i1 < 0 || i2 < 0 || i1 > i2 {
+		t.Errorf("summary order: %q", sum)
+	}
+}
