@@ -1,0 +1,27 @@
+# Tier-1 verification plus the race detector and benchmarks in one place.
+#
+#   make check   # build + vet + test + race: what CI should run
+#   make bench   # paper-figure and hot-kernel benchmarks
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The worker-pool renderer, LIC convolution, compositor and pipeline are
+# the concurrent subsystems; run them under the race detector.
+race:
+	$(GO) test -race ./internal/render/... ./internal/lic/... ./internal/core/... ./internal/compositor/...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem .
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/render/
+
+check: build vet test race

@@ -5,6 +5,8 @@
 package repro
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -114,6 +116,39 @@ func BenchmarkRenderSerial(b *testing.B) {
 		if _, err := render.RenderSerial(rr, m, scalar, 2, m.Tree.MaxDepth(), &view); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRenderParallel measures the worker-pool renderer on the same
+// frame as BenchmarkRenderSerial at 1, 2, 4 and NumCPU workers; the
+// workers-1 case is the exact serial legacy path, so the sub-benchmark
+// ratios are the parallel speedup.
+func BenchmarkRenderParallel(b *testing.B) {
+	st, m, err := experiments.MakeDataset(experiments.Small, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]byte, m.NumNodes()*quake.BytesPerNode)
+	if err := st.ReadAt(nil, quake.StepObject(1), 0, buf); err != nil {
+		b.Fatal(err)
+	}
+	mag := render.Magnitude(quake.DecodeStep(buf))
+	lo, hi := render.MinMax(mag)
+	scalar := render.Dequantize(render.Quantize(mag, lo, hi))
+	rr := render.NewRenderer()
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers-%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				view := render.DefaultView(128, 128)
+				if _, err := render.RenderParallel(rr, m, scalar, 2, m.Tree.MaxDepth(), &view, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

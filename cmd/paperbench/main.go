@@ -29,10 +29,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("paperbench: ")
-	fig := flag.String("fig", "all", "figure to run: 3,4,8,9,10,11,12,13,io,slic,afetch,model,prefetch,balance,rlecomp,all")
+	fig := flag.String("fig", "all", "figure to run: 3,4,8,9,10,11,12,13,io,slic,afetch,model,prefetch,balance,rlecomp,renderpar,all")
 	quick := flag.Bool("quick", false, "smaller parameter sweeps")
 	images := flag.String("images", "", "directory for PNG output (empty = no images)")
+	workers := flag.Int("workers", 0, "render worker goroutines (0 = NumCPU, 1 = single-threaded serial path)")
 	flag.Parse()
+	experiments.Workers = *workers
 
 	type exp struct {
 		name string
@@ -56,6 +58,7 @@ func main() {
 		{"prefetch", func() (*trace.Table, error) { return experiments.PrefetchAblation(q) }},
 		{"balance", func() (*trace.Table, error) { return experiments.LoadBalanceAblation(q) }},
 		{"rlecomp", func() (*trace.Table, error) { return experiments.CompressionAblation(q) }},
+		{"renderpar", func() (*trace.Table, error) { return experiments.RenderScaling(q) }},
 	}
 	want := strings.Split(*fig, ",")
 	match := func(name string) bool {

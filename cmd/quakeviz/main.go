@@ -50,6 +50,7 @@ func main() {
 	fov := flag.Float64("fov", 0, "perspective field of view in degrees (0 = orthographic)")
 	extent := flag.Float64("extent", 0, "view extent in domain units (smaller = close-up; 0 = fit)")
 	tf := flag.String("tf", "seismic", "transfer function preset: seismic | gray | hot")
+	workers := flag.Int("workers", 0, "per-rank render worker goroutines (0 = split NumCPU across ranks, 1 = single-threaded serial path)")
 	pgvPath := flag.String("pgv", "", "write a peak-ground-velocity surface map PNG to this path")
 	flag.Parse()
 
@@ -73,6 +74,7 @@ func main() {
 	opts.AdaptiveFetch = *adaptiveFetch
 	opts.Compress = *compress
 	opts.MaxSteps = *steps
+	opts.Workers = *workers
 	switch *strategy {
 	case "independent":
 		opts.ReadStrategy = core.ReadIndependent
@@ -99,6 +101,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	p.Workers = *workers
 	log.Printf("pipeline: %d input (%dx%d), %d render, %d output ranks; %d steps",
 		layout.NumInput(), *groups, *ips, *renderers, *outputs, w.Steps())
 

@@ -131,6 +131,14 @@ type Options struct {
 	Compress      bool
 	MaxSteps      int // 0 = all dataset steps
 
+	// Workers bounds the shared-memory parallelism each rank applies to
+	// its own CPU-heavy work (block rendering, strip compositing, LIC
+	// convolution): 0 splits runtime.NumCPU() across the renderer ranks
+	// (they share one process under the mock MPI), 1 forces the
+	// single-threaded serial path. Frames are pixel-identical for any
+	// value.
+	Workers int
+
 	// FixedVMax, when positive, sets the quantization range directly
 	// instead of scanning the dataset at startup. Required for
 	// simulation-time visualization, where future steps do not exist yet.

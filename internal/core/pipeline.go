@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/mpi"
 )
@@ -11,7 +13,10 @@ import (
 // Workload supplies the stage implementations the pipeline schedules. Two
 // implementations exist: RealWorkload (actual data, actual rendering) and
 // ModelWorkload (paper-scale calibrated costs for the timing experiments).
-// All hooks are invoked from the rank's own goroutine/process.
+// All hooks are invoked from the rank's own goroutine/process, except
+// PayloadFor, which an input rank may call concurrently for distinct
+// renderers when Pipeline.Workers permits (both in-tree workloads only
+// read shared state there).
 type Workload interface {
 	// Steps returns the number of timesteps to run.
 	Steps() int
@@ -129,6 +134,12 @@ type Pipeline struct {
 	// entirely; larger depths trade memory for pipelining (see the
 	// prefetch ablation in internal/experiments).
 	PrefetchDepth int
+
+	// Workers bounds the shared-memory parallelism an input rank uses to
+	// build its per-renderer payloads before the (ordered) sends: 0 uses
+	// runtime.NumCPU(), 1 builds serially. Message order and content are
+	// unchanged either way.
+	Workers int
 }
 
 // NewPipeline validates the layout and prepares a result sink.
@@ -185,9 +196,46 @@ func (p *Pipeline) runInput(c *mpi.Comm) error {
 			c.Recv(l.RenderRank(r), tagCredit(t))
 		}
 		t3 := c.Now()
+		// Build every renderer's payload (concurrently when allowed), then
+		// send in renderer order so the message stream is unchanged.
+		bytes := make([]int64, l.Renderers)
+		data := make([]any, l.Renderers)
+		pw := p.Workers
+		if pw <= 0 {
+			// All input ranks share one process under the mock MPI: split
+			// the machine between them like the renderer side does.
+			pw = runtime.NumCPU() / l.NumInput()
+			if pw < 1 {
+				pw = 1
+			}
+		}
+		if pw > l.Renderers {
+			pw = l.Renderers
+		}
+		if pw <= 1 {
+			for r := 0; r < l.Renderers; r++ {
+				bytes[r], data[r] = p.W.PayloadFor(c, t, prep, r)
+			}
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(pw)
+			for k := 0; k < pw; k++ {
+				go func() {
+					defer wg.Done()
+					for {
+						r := int(next.Add(1)) - 1
+						if r >= l.Renderers {
+							return
+						}
+						bytes[r], data[r] = p.W.PayloadFor(c, t, prep, r)
+					}
+				}()
+			}
+			wg.Wait()
+		}
 		for r := 0; r < l.Renderers; r++ {
-			bytes, data := p.W.PayloadFor(c, t, prep, r)
-			c.Send(l.RenderRank(r), tagData(t), bytes, data)
+			c.Send(l.RenderRank(r), tagData(t), bytes[r], data[r])
 		}
 		t4 := c.Now()
 		if p.W.WantLIC() && part == 0 {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -129,6 +130,10 @@ func NewRealWorkload(l Layout, opts Options, store pfs.Store) (*RealWorkload, er
 	if opts.TFName != "" {
 		w.rend.TF = render.TFByName(opts.TFName)
 	}
+	w.rend.Workers = opts.Workers
+	// Renderer ranks share w.rend across goroutines; bake its defaults and
+	// transfer-function table now, while construction is single-threaded.
+	w.rend.Prepare()
 
 	// Block partition and static per-block tables.
 	w.blocks = m.Tree.Blocks(opts.BlockLevel)
@@ -593,7 +598,7 @@ func (w *RealWorkload) LICPayload(c *mpi.Comm, t int, prep any) (int64, any, err
 	if err != nil {
 		return 0, nil, err
 	}
-	im, err := lic.Compute(grid, size, size, lic.Config{L: size / 12, Seed: 7, Phase: -1})
+	im, err := lic.Compute(grid, size, size, lic.Config{L: size / 12, Seed: 7, Phase: -1, Workers: w.opts.Workers})
 	if err != nil {
 		return 0, nil, err
 	}
@@ -629,9 +634,9 @@ func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any,
 			}
 		}
 	}
-	out := &rendered{}
-	view := w.opts.View
-	for _, bi := range w.rblocks[r] {
+	mine := w.rblocks[r]
+	bds := make([]*render.BlockData, len(mine))
+	for i, bi := range mine {
 		bd := &render.BlockData{Root: w.blocks[bi].Root, Cells: w.blockCells[bi]}
 		cells := w.blockCells[bi]
 		bd.Vals = make([][8]float32, len(cells))
@@ -658,9 +663,26 @@ func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any,
 				}
 			}
 		}
-		frag := w.rend.RenderBlock(bd, &view)
+		bds[i] = bd
+	}
+	// Fan the ray casting out across this rank's worker pool (block- and
+	// tile-parallel; pixel-identical to the serial path). All renderer
+	// ranks run as goroutines of one process under the mock MPI, so by
+	// default split the machine between them instead of giving every rank
+	// NumCPU tile workers.
+	workers := w.opts.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU() / w.layout.Renderers
+		if workers < 1 {
+			workers = 1
+		}
+	}
+	out := &rendered{}
+	view := w.opts.View
+	frags := w.rend.RenderBlocks(bds, &view, workers)
+	for i, frag := range frags {
 		if frag != nil {
-			frag.VisRank = w.visRank[bi]
+			frag.VisRank = w.visRank[mine[i]]
 			out.frags = append(out.frags, frag)
 		}
 	}

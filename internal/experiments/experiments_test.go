@@ -235,6 +235,30 @@ func TestCompositingSLICBeatsDirectSendOnMessages(t *testing.T) {
 	}
 }
 
+func TestRenderScalingParityAndShape(t *testing.T) {
+	tb, err := RenderScaling(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffs := column(tb, 3)
+	if len(diffs) < 3 {
+		t.Fatalf("too few rows: %s", tb)
+	}
+	// The parallel renderer must be pixel-exact against the serial
+	// reference at every worker count.
+	for i, d := range diffs {
+		if d != 0 {
+			t.Errorf("row %d: max abs diff %v, want exactly 0", i, d)
+		}
+	}
+	speedups := column(tb, 2)
+	for i, s := range speedups {
+		if s <= 0 {
+			t.Errorf("row %d: nonpositive speedup %v", i, s)
+		}
+	}
+}
+
 func TestMakeDatasetDeterministic(t *testing.T) {
 	a, m1, err := MakeDataset(Small, 2)
 	if err != nil {

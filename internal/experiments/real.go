@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync"
 	"time"
 
@@ -20,6 +21,11 @@ import (
 	"repro/internal/render"
 	"repro/internal/trace"
 )
+
+// Workers is the shared-memory render parallelism the image experiments
+// use (0 = runtime.NumCPU(), 1 = serial); paperbench -workers sets it.
+// Images are pixel-identical for any value.
+var Workers int
 
 // DatasetSize selects how large a generated test dataset is.
 type DatasetSize int
@@ -131,7 +137,8 @@ func Fig3(quick bool, imgDir string) (*trace.Table, error) {
 	depth := m.Tree.MaxDepth()
 	rr := render.NewRenderer()
 	tb := trace.NewTable("Figure 3 — full vs adaptive rendering",
-		"level", "cells", "render_time_s", "speedup", "rmse_vs_full", "psnr_db")
+		"level", "cells", "render_time_s", "speedup", "rmse_vs_full", "psnr_db",
+		"par_time_s", "par_speedup")
 	var fullImg *img.Image
 	var fullTime float64
 	for _, lvl := range []uint8{depth, depth - 1, depth - 2} {
@@ -150,12 +157,23 @@ func Fig3(quick bool, imgDir string) (*trace.Table, error) {
 			return nil, err
 		}
 		dt := time.Since(start).Seconds()
+		// The worker-pool renderer must reproduce the serial frame exactly.
+		pview := render.DefaultView(px, px)
+		start = time.Now()
+		pim, err := render.RenderParallel(rr, m, scalar, 2, lvl, &pview, Workers)
+		if err != nil {
+			return nil, err
+		}
+		pdt := time.Since(start).Seconds()
+		if d := img.MaxAbsDiff(im, pim); d != 0 {
+			return nil, fmt.Errorf("experiments: parallel render differs from serial at level %d (max abs diff %g)", lvl, d)
+		}
 		if lvl == depth {
 			fullImg, fullTime = im, dt
-			tb.AddRow(lvl, cells, dt, 1.0, 0.0, "inf")
+			tb.AddRow(lvl, cells, dt, 1.0, 0.0, "inf", pdt, dt/pdt)
 		} else {
 			tb.AddRow(lvl, cells, dt, fullTime/dt, img.RMSE(fullImg, im),
-				fmt.Sprintf("%.1f", img.PSNR(fullImg, im)))
+				fmt.Sprintf("%.1f", img.PSNR(fullImg, im)), pdt, dt/pdt)
 		}
 		if imgDir != "" {
 			if err := writePNG(imgDir, fmt.Sprintf("fig3_level%d.png", lvl), im); err != nil {
@@ -201,7 +219,7 @@ func Fig4(quick bool, imgDir string) (*trace.Table, error) {
 		"variant", "visible_pixels", "mean_opacity")
 	render1 := func(name string, scalar []float32) (*img.Image, error) {
 		v := view
-		im, err := render.RenderSerial(rr, m, scalar, 2, m.Tree.MaxDepth(), &v)
+		im, err := render.RenderParallel(rr, m, scalar, 2, m.Tree.MaxDepth(), &v, Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -257,7 +275,7 @@ func Fig11(quick bool, imgDir string) (*trace.Table, error) {
 	rr := render.NewRenderer()
 	start := time.Now()
 	v1 := view
-	unlit, err := render.RenderSerial(rr, m, scalar, 2, m.Tree.MaxDepth(), &v1)
+	unlit, err := render.RenderParallel(rr, m, scalar, 2, m.Tree.MaxDepth(), &v1, Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -266,7 +284,7 @@ func Fig11(quick bool, imgDir string) (*trace.Table, error) {
 	rl.Lighting = true
 	start = time.Now()
 	v2 := view
-	lit, err := render.RenderSerial(rl, m, scalar, 2, m.Tree.MaxDepth(), &v2)
+	lit, err := render.RenderParallel(rl, m, scalar, 2, m.Tree.MaxDepth(), &v2, Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -324,7 +342,7 @@ func Fig13(quick bool, imgDir string) (*trace.Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		licIm, err := lic.Compute(grid, licPx, licPx, lic.Config{L: licPx / 12, Seed: 7, Phase: -1})
+		licIm, err := lic.Compute(grid, licPx, licPx, lic.Config{L: licPx / 12, Seed: 7, Phase: -1, Workers: Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -333,7 +351,7 @@ func Fig13(quick bool, imgDir string) (*trace.Table, error) {
 		scalar := render.Dequantize(render.Quantize(render.Magnitude(vec), 0, vmax))
 		view := render.DefaultView(px, px)
 		start = time.Now()
-		vol, err := render.RenderSerial(render.NewRenderer(), m, scalar, 2, m.Tree.MaxDepth(), &view)
+		vol, err := render.RenderParallel(render.NewRenderer(), m, scalar, 2, m.Tree.MaxDepth(), &view, Workers)
 		if err != nil {
 			return nil, err
 		}
@@ -373,6 +391,57 @@ func writePNG(dir, name string, im *img.Image) error {
 	}
 	defer f.Close()
 	return im.WritePNG(f)
+}
+
+// RenderScaling measures the shared-memory parallel renderer: one frame
+// rendered with 1, 2, 4, ... NumCPU workers against the serial reference,
+// reporting wall-clock speedup and verifying pixel-exact parity (the
+// max_abs_diff column must be exactly 0).
+func RenderScaling(quick bool) (*trace.Table, error) {
+	size := Medium
+	px := 256
+	if quick {
+		size, px = Small, 128
+	}
+	st, m, err := MakeDataset(size, 2)
+	if err != nil {
+		return nil, err
+	}
+	vmax, err := scanVMax(st, m, 2)
+	if err != nil {
+		return nil, err
+	}
+	scalar, err := loadScalar(st, m, 1, vmax)
+	if err != nil {
+		return nil, err
+	}
+	rr := render.NewRenderer()
+	depth := m.Tree.MaxDepth()
+	view := render.DefaultView(px, px)
+	start := time.Now()
+	ref, err := render.RenderSerial(rr, m, scalar, 2, depth, &view)
+	if err != nil {
+		return nil, err
+	}
+	serial := time.Since(start).Seconds()
+	tb := trace.NewTable("Parallel renderer scaling — workers vs frame time",
+		"workers", "frame_s", "speedup", "max_abs_diff")
+	tb.AddRow("serial", serial, 1.0, 0.0)
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, k := range counts {
+		v := render.DefaultView(px, px)
+		start := time.Now()
+		im, err := render.RenderParallel(rr, m, scalar, 2, depth, &v, k)
+		if err != nil {
+			return nil, err
+		}
+		dt := time.Since(start).Seconds()
+		tb.AddRow(k, dt, serial/dt, img.MaxAbsDiff(ref, im))
+	}
+	return tb, nil
 }
 
 // IOStrategies reproduces the Section 5.3 comparison: a single collective

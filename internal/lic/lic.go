@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/img"
 	"repro/internal/quadtree"
@@ -24,6 +26,10 @@ type Config struct {
 	// Periodic phase in [0,1) animates the kernel (flow direction cue);
 	// negative disables the periodic filter and uses a box kernel.
 	Phase float64
+	// Workers bounds the row-parallel convolution: 0 = runtime.NumCPU(),
+	// 1 = serial. Every pixel is convolved independently, so the output is
+	// identical for any value.
+	Workers int
 }
 
 // Compute returns a w×h grayscale LIC image of the vector field.
@@ -39,12 +45,41 @@ func Compute(field *quadtree.Grid, w, h int, cfg Config) (*Image, error) {
 	}
 	noise := WhiteNoise(w, h, cfg.Seed)
 	out := &Image{W: w, H: h, Pix: make([]float32, w*h)}
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			out.Pix[y*w+x] = float32(convolve(field, noise, x, y, cfg))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > h {
+		workers = h
+	}
+	if workers <= 1 {
+		convolveRows(field, noise, out, 0, h, cfg)
+		return out, nil
+	}
+	band := (h + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < h; lo += band {
+		hi := lo + band
+		if hi > h {
+			hi = h
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			convolveRows(field, noise, out, lo, hi, cfg)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// convolveRows fills rows [yLo, yHi) of out; field and noise are only read.
+func convolveRows(field *quadtree.Grid, noise *Image, out *Image, yLo, yHi int, cfg Config) {
+	for y := yLo; y < yHi; y++ {
+		for x := 0; x < out.W; x++ {
+			out.Pix[y*out.W+x] = float32(convolve(field, noise, x, y, cfg))
 		}
 	}
-	return out, nil
 }
 
 // Image is a grayscale float image.

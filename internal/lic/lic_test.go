@@ -149,6 +149,25 @@ func TestLICPeriodicPhaseChangesImage(t *testing.T) {
 	}
 }
 
+func TestLICParallelMatchesSerial(t *testing.T) {
+	field := circularField(64, 64)
+	want, err := Compute(field, 64, 64, Config{L: 10, Seed: 9, Phase: -1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{0, 2, 7, 64} {
+		got, err := Compute(field, 64, 64, Config{L: 10, Seed: 9, Phase: -1, Workers: k})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Pix {
+			if want.Pix[i] != got.Pix[i] {
+				t.Fatalf("workers=%d: pixel %d differs", k, i)
+			}
+		}
+	}
+}
+
 func TestLICInvalidSize(t *testing.T) {
 	if _, err := Compute(uniformField(8, 8, 1, 0), 0, 8, Config{}); err == nil {
 		t.Error("zero size accepted")

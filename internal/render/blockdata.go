@@ -2,6 +2,7 @@ package render
 
 import (
 	"fmt"
+	"slices"
 
 	"repro/internal/mesh"
 	"repro/internal/octree"
@@ -218,41 +219,6 @@ func BlockNodeIDs(m *mesh.Mesh, block octree.Block, level uint8) []int32 {
 	for id := range set {
 		out = append(out, id)
 	}
-	sortInt32s(out)
+	slices.Sort(out)
 	return out
-}
-
-func sortInt32s(s []int32) {
-	if len(s) < 2 {
-		return
-	}
-	// Simple quicksort to avoid pulling in sort for int32 slices hot path.
-	var qs func(lo, hi int)
-	qs = func(lo, hi int) {
-		for lo < hi {
-			p := s[(lo+hi)/2]
-			i, j := lo, hi
-			for i <= j {
-				for s[i] < p {
-					i++
-				}
-				for s[j] > p {
-					j--
-				}
-				if i <= j {
-					s[i], s[j] = s[j], s[i]
-					i++
-					j--
-				}
-			}
-			if j-lo < hi-i {
-				qs(lo, j)
-				lo = i
-			} else {
-				qs(i, hi)
-				hi = j
-			}
-		}
-	}
-	qs(0, len(s)-1)
 }

@@ -2,6 +2,9 @@ package render
 
 import (
 	"math"
+	"runtime"
+	"sort"
+	"sync"
 
 	"repro/internal/img"
 	"repro/internal/mesh"
@@ -17,7 +20,10 @@ type Fragment struct {
 	VisRank int // position in the view's visibility order
 }
 
-// Renderer holds the rendering parameters shared by all blocks.
+// Renderer holds the rendering parameters shared by all blocks. Build one
+// with NewRenderer and override fields before the first render; a
+// NewRenderer-built renderer keeps explicitly set zero values (e.g.
+// Ambient: 0), while a zero-value literal gets every default filled in.
 type Renderer struct {
 	TF           *TransferFunction
 	StepScale    float64 // ray step as a fraction of the local cell size (default 0.5)
@@ -28,6 +34,15 @@ type Renderer struct {
 
 	// EarlyTermination stops rays whose opacity exceeds this (default 0.99).
 	EarlyTermination float64
+
+	// Workers bounds the tile-level parallelism of RenderBlock: 0 uses
+	// runtime.NumCPU(), 1 renders strictly serially. Any value produces
+	// pixel-identical output.
+	Workers int
+
+	fromNew bool // built by NewRenderer: all defaults already populated
+	lut     *TFLUT
+	lutFor  *TransferFunction // TF the lut was baked from
 }
 
 // NewRenderer returns a renderer with the default seismic transfer function.
@@ -39,6 +54,7 @@ func NewRenderer() *Renderer {
 		LightDir:         norm(Vec3{-0.4, -0.5, -0.76}),
 		Ambient:          0.35,
 		EarlyTermination: 0.99,
+		fromNew:          true,
 	}
 }
 
@@ -52,21 +68,47 @@ func (r *Renderer) defaults() {
 	if r.EarlyTermination <= 0 {
 		r.EarlyTermination = 0.99
 	}
-	if r.Ambient == 0 {
+	// A renderer built by NewRenderer keeps whatever the caller set —
+	// including an explicit Ambient of 0; only zero-value literals get the
+	// default filled in.
+	if r.Ambient == 0 && !r.fromNew {
 		r.Ambient = 0.35
 	}
 	if r.TF == nil {
 		r.TF = SeismicTF()
 	}
+	if r.lut == nil || r.lutFor != r.TF {
+		r.lut = r.TF.BuildLUT(tfLUTSize)
+		r.lutFor = r.TF
+	}
 }
 
-// RenderBlock ray-casts one block and returns its fragment, or nil when the
-// block's projection misses the image entirely or the block is empty space
-// (its maximum value maps to zero density everywhere).
-func (r *Renderer) RenderBlock(bd *BlockData, view *View) *Fragment {
-	r.defaults()
+// tfLUTSize is the resolution of the baked transfer-function table; the
+// pipeline quantizes scalars to 8 bit, so 4096 entries oversample the data
+// 16x and keep the lerp error far below one 8-bit step.
+const tfLUTSize = 4096
+
+// Prepare applies the defaults and bakes the transfer-function lookup
+// table. Rendering does this implicitly, but call it explicitly before
+// sharing one Renderer across goroutines: afterwards rendering only reads
+// the struct.
+func (r *Renderer) Prepare() { r.defaults() }
+
+// blockRect is the projected screen rectangle of a block plus its sampling
+// step — everything a scanline band needs besides the block data.
+type blockRect struct {
+	x0, y0, x1, y1 int
+	step           float64
+}
+
+// projectBlock computes the block's projected rectangle, applies
+// empty-space skipping, and allocates the (pooled) fragment image. It also
+// builds the block's point-location index, so the returned geometry is
+// safe to ray-cast from multiple goroutines. ok is false when the block is
+// skipped.
+func (r *Renderer) projectBlock(bd *BlockData, view *View) (*Fragment, blockRect, bool) {
 	if r.TF.TransparentBelow(float64(bd.MaxValue())) {
-		return nil // empty-space skipping
+		return nil, blockRect{}, false // empty-space skipping
 	}
 	bmin, bmax := bd.Root.Bounds()
 	// Projected bounding rectangle.
@@ -92,15 +134,24 @@ func (r *Renderer) RenderBlock(bd *BlockData, view *View) *Fragment {
 	x1 := clampInt(int(math.Ceil(fx1))+1, 0, view.Width)
 	y1 := clampInt(int(math.Ceil(fy1))+1, 0, view.Height)
 	if x1 <= x0 || y1 <= y0 {
-		return nil
+		return nil, blockRect{}, false
 	}
-	frag := &Fragment{X0: x0, Y0: y0, Img: img.New(x1-x0, y1-y0)}
-	step := r.StepScale * bd.MinCellSize()
+	step := r.StepScale * bd.MinCellSize() // also builds the cell index
 	if step <= 0 {
 		step = 1e-3
 	}
-	for py := y0; py < y1; py++ {
-		for px := x0; px < x1; px++ {
+	frag := &Fragment{X0: x0, Y0: y0, Img: newPooledImage(x1-x0, y1-y0)}
+	return frag, blockRect{x0: x0, y0: y0, x1: x1, y1: y1, step: step}, true
+}
+
+// castRows ray-casts scanlines [yLo, yHi) of the block's projected
+// rectangle into frag. The sampler carries the cell cache across pixels —
+// adjacent rays usually enter the same cell, so most samples skip the
+// octree point location entirely.
+func (r *Renderer) castRows(bd *BlockData, view *View, frag *Fragment, g blockRect, yLo, yHi int, s *sampler) {
+	bmin, bmax := bd.Root.Bounds()
+	for py := yLo; py < yHi; py++ {
+		for px := g.x0; px < g.x1; px++ {
 			o, d := view.Ray(px, py)
 			t0, t1, hit := rayBox(o, d, bmin, bmax)
 			if !hit {
@@ -109,34 +160,103 @@ func (r *Renderer) RenderBlock(bd *BlockData, view *View) *Fragment {
 			if t0 < 0 {
 				t0 = 0
 			}
-			cr, cg, cb, ca := r.castRay(bd, o, d, t0, t1, step)
+			cr, cg, cb, ca := r.castRay(s, o, d, t0, t1, g.step)
 			if ca > 0 {
-				frag.Img.Set(px-x0, py-y0, cr, cg, cb, ca)
+				frag.Img.Set(px-g.x0, py-g.y0, cr, cg, cb, ca)
 			}
 		}
 	}
+}
+
+// minTileRows is the smallest scanline band worth dispatching to its own
+// goroutine; below this the dispatch overhead outweighs the parallelism.
+// maxTileRows caps a single tile so one dominant block cannot serialize
+// the frame tail.
+const (
+	minTileRows = 16
+	maxTileRows = 64
+)
+
+// RenderBlock ray-casts one block and returns its fragment, or nil when the
+// block's projection misses the image entirely or the block is empty space
+// (its maximum value maps to zero density everywhere). Large projected
+// rectangles are split into row bands rendered by up to Workers goroutines;
+// the output is identical for any worker count.
+func (r *Renderer) RenderBlock(bd *BlockData, view *View) *Fragment {
+	r.defaults()
+	frag, g, ok := r.projectBlock(bd, view)
+	if !ok {
+		return nil
+	}
+	rows := g.y1 - g.y0
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > rows/minTileRows {
+		workers = rows / minTileRows
+	}
+	if workers <= 1 {
+		var s sampler
+		s.reset(bd)
+		r.castRows(bd, view, frag, g, g.y0, g.y1, &s)
+		return frag
+	}
+	// Freeze a private copy of the camera for the bands; the caller's View
+	// keeps its lazy (mutable) semantics regardless of core count.
+	pv := *view
+	pv.Prepare()
+	band := (rows + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := g.y0; lo < g.y1; lo += band {
+		hi := lo + band
+		if hi > g.y1 {
+			hi = g.y1
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var s sampler
+			s.reset(bd)
+			r.castRows(bd, &pv, frag, g, lo, hi, &s)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return frag
+}
+
+// renderBlockSerial is RenderBlock with tile parallelism forced off — the
+// reference path RenderParallel is verified against.
+func (r *Renderer) renderBlockSerial(bd *BlockData, view *View) *Fragment {
+	r.defaults()
+	frag, g, ok := r.projectBlock(bd, view)
+	if !ok {
+		return nil
+	}
+	var s sampler
+	s.reset(bd)
+	r.castRows(bd, view, frag, g, g.y0, g.y1, &s)
 	return frag
 }
 
 // castRay integrates the volume rendering equation front-to-back along one
-// ray segment.
-func (r *Renderer) castRay(bd *BlockData, o, d Vec3, t0, t1, step float64) (cr, cg, cb, ca float32) {
+// ray segment. The sampler provides cached cell location and the baked TF
+// table provides emission/density, keeping the loop allocation-free.
+func (r *Renderer) castRay(s *sampler, o, d Vec3, t0, t1, step float64) (cr, cg, cb, ca float32) {
 	var ar, ag, ab, aa float64
-	cell := -1
 	for t := t0 + step/2; t < t1; t += step {
 		p := Vec3{o[0] + t*d[0], o[1] + t*d[1], o[2] + t*d[2]}
-		v, c2, ok := bd.Sample(p, cell)
-		cell = c2
+		v, ok := s.sample(p)
 		if !ok {
 			continue
 		}
-		er, eg, eb, density := r.TF.Lookup(v)
+		er, eg, eb, density := r.lut.Lookup(v)
 		if density <= 0 {
 			continue
 		}
 		alpha := 1 - math.Exp(-density*r.DensityScale*step)
 		if r.Lighting {
-			g := bd.Gradient(p, cell)
+			g := s.gradient(p)
 			gl := math.Sqrt(dot(g, g))
 			if gl > 1e-9 {
 				n := scale(g, 1/gl)
@@ -178,28 +298,71 @@ func clampInt(v, lo, hi int) int {
 
 // CompositeFragments assembles fragments into a full image by compositing
 // in visibility order (front to back): fragments with lower VisRank are in
-// front.
+// front. Large images are composited in parallel horizontal strips; the
+// per-pixel operation order is by VisRank regardless, so the result is
+// identical for any strip count.
 func CompositeFragments(w, h int, frags []*Fragment) *img.Image {
-	ordered := append([]*Fragment(nil), frags...)
-	// Insertion sort by VisRank (fragment counts are small).
-	for i := 1; i < len(ordered); i++ {
-		for j := i; j > 0 && ordered[j].VisRank < ordered[j-1].VisRank; j-- {
-			ordered[j], ordered[j-1] = ordered[j-1], ordered[j]
+	return compositeFragments(w, h, frags, 0)
+}
+
+// minStripRows is the smallest compositing strip worth its own goroutine.
+const minStripRows = 64
+
+// compositeFragments composites with the given worker count (0 = NumCPU,
+// 1 = serial).
+func compositeFragments(w, h int, frags []*Fragment, workers int) *img.Image {
+	ordered := make([]*Fragment, 0, len(frags))
+	for _, f := range frags {
+		if f != nil && f.Img != nil {
+			ordered = append(ordered, f)
 		}
 	}
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].VisRank < ordered[j].VisRank })
 	out := img.New(w, h)
-	for _, f := range ordered {
-		if f == nil || f.Img == nil {
-			continue
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > h/minStripRows {
+		workers = h / minStripRows
+	}
+	if workers <= 1 {
+		compositeStrip(out, ordered, 0, h)
+		return out
+	}
+	band := (h + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < h; lo += band {
+		hi := lo + band
+		if hi > h {
+			hi = h
 		}
-		for y := 0; y < f.Img.H; y++ {
-			gy := f.Y0 + y
-			if gy < 0 || gy >= h {
-				continue
-			}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			compositeStrip(out, ordered, lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}
+
+// compositeStrip composites rows [yLo, yHi) of every fragment, in the
+// given (visibility) order, into out.
+func compositeStrip(out *img.Image, ordered []*Fragment, yLo, yHi int) {
+	for _, f := range ordered {
+		fy0 := f.Y0
+		if fy0 < yLo {
+			fy0 = yLo
+		}
+		fy1 := f.Y0 + f.Img.H
+		if fy1 > yHi {
+			fy1 = yHi
+		}
+		for gy := fy0; gy < fy1; gy++ {
+			y := gy - f.Y0
 			for x := 0; x < f.Img.W; x++ {
 				gx := f.X0 + x
-				if gx < 0 || gx >= w {
+				if gx < 0 || gx >= out.W {
 					continue
 				}
 				sr, sg, sb, sa := f.Img.At(x, y)
@@ -213,13 +376,14 @@ func CompositeFragments(w, h int, frags []*Fragment) *img.Image {
 			}
 		}
 	}
-	return out
 }
 
 // RenderSerial is the reference single-process renderer: extract every
-// block at the level, render, and composite. It is used by tests to verify
-// the distributed pipeline pixel-for-pixel and by the Figure 3 experiment.
+// block at the level, render, and composite, all on the calling goroutine.
+// It is used by tests to verify the distributed pipeline and RenderParallel
+// pixel-for-pixel, and by the Figure 3 experiment as the timing baseline.
 func RenderSerial(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel, level uint8, view *View) (*img.Image, error) {
+	rr.defaults()
 	blocks := m.Tree.Blocks(blockLevel)
 	cells := make([]octree.Cell, len(blocks))
 	for i, b := range blocks {
@@ -236,11 +400,11 @@ func RenderSerial(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel, leve
 		if err != nil {
 			return nil, err
 		}
-		f := rr.RenderBlock(bd, view)
+		f := rr.renderBlockSerial(bd, view)
 		if f != nil {
 			f.VisRank = rank[i]
 			frags = append(frags, f)
 		}
 	}
-	return CompositeFragments(view.Width, view.Height, frags), nil
+	return compositeFragments(view.Width, view.Height, frags, 1), nil
 }

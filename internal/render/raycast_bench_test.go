@@ -1,0 +1,76 @@
+package render
+
+import (
+	"testing"
+)
+
+// benchRaySetup prepares a block and one central ray through it.
+func benchRaySetup(b *testing.B, lighting bool) (*Renderer, *sampler, Vec3, Vec3, float64, float64, float64) {
+	b.Helper()
+	m := uniformMesh(4)
+	f := waveField(m)
+	bd, err := ExtractBlockData(m, f, m.Tree.Blocks(0)[0], 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rr := NewRenderer()
+	rr.Lighting = lighting
+	rr.Prepare()
+	view := DefaultView(256, 256)
+	view.Prepare()
+	step := rr.StepScale * bd.MinCellSize()
+	o, d := view.Ray(128, 128)
+	bmin, bmax := bd.Root.Bounds()
+	t0, t1, hit := rayBox(o, d, bmin, bmax)
+	if !hit {
+		b.Fatal("central ray misses the block")
+	}
+	if t0 < 0 {
+		t0 = 0
+	}
+	s := &sampler{}
+	s.reset(bd)
+	return rr, s, o, d, t0, t1, step
+}
+
+var sinkAlpha float32
+
+// BenchmarkCastRay reports ns per full ray integration (and allocs/op,
+// which must be zero) through a level-4 block at the default step.
+func BenchmarkCastRay(b *testing.B) {
+	rr, s, o, d, t0, t1, step := benchRaySetup(b, false)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, sinkAlpha = rr.castRay(s, o, d, t0, t1, step)
+	}
+}
+
+// BenchmarkCastRayLit is BenchmarkCastRay with gradient Phong lighting.
+func BenchmarkCastRayLit(b *testing.B) {
+	rr, s, o, d, t0, t1, step := benchRaySetup(b, true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _, sinkAlpha = rr.castRay(s, o, d, t0, t1, step)
+	}
+}
+
+// BenchmarkRenderBlock measures one full block render (projection, tile
+// dispatch, casting) at the renderer's default worker count.
+func BenchmarkRenderBlock(b *testing.B) {
+	m := uniformMesh(4)
+	f := waveField(m)
+	bd, err := ExtractBlockData(m, f, m.Tree.Blocks(0)[0], 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rr := NewRenderer()
+	view := DefaultView(256, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if frag := rr.RenderBlock(bd, &view); frag == nil {
+			b.Fatal("no fragment")
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package render
+
+// sampler is the per-worker, allocation-free sampling state of the ray
+// caster. It caches the current cell's bounds, corner values and the
+// corner differences the analytic gradient needs, so consecutive samples
+// along a ray — and across adjacent pixels of a scanline, since one
+// sampler serves a whole row band — skip the octree point location while
+// the ray stays inside one cell.
+type sampler struct {
+	bd   *BlockData
+	cell int     // cached cell index, -1 before the first hit
+	min  Vec3    // min corner of the cached cell
+	inv  float64 // 1 / cell size
+	v    [8]float64
+	// Corner differences of the cached cell, the coefficients of the
+	// analytic trilinear gradient (one entry per edge along the axis).
+	dx, dy, dz [4]float64
+}
+
+func (s *sampler) reset(bd *BlockData) {
+	s.bd = bd
+	s.cell = -1
+}
+
+// setCell loads the per-cell cache for cell ci.
+func (s *sampler) setCell(ci int) {
+	s.cell = ci
+	c := s.bd.Cells[ci]
+	min, _ := c.Bounds()
+	s.min = Vec3{min[0], min[1], min[2]}
+	s.inv = 1 / c.Size()
+	vv := &s.bd.Vals[ci]
+	for k := 0; k < 8; k++ {
+		s.v[k] = float64(vv[k])
+	}
+	s.dx = [4]float64{s.v[1] - s.v[0], s.v[3] - s.v[2], s.v[5] - s.v[4], s.v[7] - s.v[6]}
+	s.dy = [4]float64{s.v[2] - s.v[0], s.v[3] - s.v[1], s.v[6] - s.v[4], s.v[7] - s.v[5]}
+	s.dz = [4]float64{s.v[4] - s.v[0], s.v[5] - s.v[1], s.v[6] - s.v[2], s.v[7] - s.v[3]}
+}
+
+// locate positions the sampler at the cell containing p; ok is false when
+// p falls outside the block. A failed locate keeps the previous cell
+// cached — the ray may re-enter it past a concavity.
+func (s *sampler) locate(p Vec3) bool {
+	if s.cell >= 0 && s.bd.Cells[s.cell].ContainsPoint(p) {
+		return true
+	}
+	ci := s.bd.find(p)
+	if ci < 0 {
+		return false
+	}
+	s.setCell(ci)
+	return true
+}
+
+// sample interpolates the scalar field at p (trilinear over the cached
+// corners, same arithmetic as BlockData.Sample).
+func (s *sampler) sample(p Vec3) (float64, bool) {
+	if !s.locate(p) {
+		return 0, false
+	}
+	x := (p[0] - s.min[0]) * s.inv
+	y := (p[1] - s.min[1]) * s.inv
+	z := (p[2] - s.min[2]) * s.inv
+	c00 := s.v[0] + x*(s.v[1]-s.v[0])
+	c10 := s.v[2] + x*(s.v[3]-s.v[2])
+	c01 := s.v[4] + x*(s.v[5]-s.v[4])
+	c11 := s.v[6] + x*(s.v[7]-s.v[6])
+	c0 := c00 + y*(c10-c00)
+	c1 := c01 + y*(c11-c01)
+	return c0 + z*(c1-c0), true
+}
+
+// gradient returns the exact gradient of the trilinear interpolant at p in
+// the cached cell (valid after a successful sample). Unlike the
+// central-difference BlockData.Gradient it needs no further point
+// locations or field samples.
+func (s *sampler) gradient(p Vec3) Vec3 {
+	x := (p[0] - s.min[0]) * s.inv
+	y := (p[1] - s.min[1]) * s.inv
+	z := (p[2] - s.min[2]) * s.inv
+	mx, my, mz := 1-x, 1-y, 1-z
+	return Vec3{
+		(s.dx[0]*my*mz + s.dx[1]*y*mz + s.dx[2]*my*z + s.dx[3]*y*z) * s.inv,
+		(s.dy[0]*mx*mz + s.dy[1]*x*mz + s.dy[2]*mx*z + s.dy[3]*x*z) * s.inv,
+		(s.dz[0]*mx*my + s.dz[1]*x*my + s.dz[2]*mx*y + s.dz[3]*x*y) * s.inv,
+	}
+}

@@ -85,6 +85,49 @@ func (tf *TransferFunction) Table(n int) []TFPoint {
 	return out
 }
 
+// TFLUT is a transfer function baked into a dense lookup table. The ray
+// caster evaluates the TF once per sample, so replacing the control-point
+// search and interpolation of Lookup with a single table lerp removes the
+// dominant per-sample cost. The approximation error is bounded by the
+// table resolution (the renderer uses 4096 entries over [0,1]); entry 0
+// and the saturation ends reproduce Lookup exactly.
+type TFLUT struct {
+	last float64      // float64(len(tab) - 1)
+	tab  [][4]float64 // r, g, b, density per entry
+}
+
+// BuildLUT bakes the TF at n uniformly spaced scalars in [0,1].
+func (tf *TransferFunction) BuildLUT(n int) *TFLUT {
+	if n < 2 {
+		n = 2
+	}
+	l := &TFLUT{last: float64(n - 1), tab: make([][4]float64, n)}
+	for i := range l.tab {
+		r, g, b, d := tf.Lookup(float64(i) / float64(n-1))
+		l.tab[i] = [4]float64{r, g, b, d}
+	}
+	return l
+}
+
+// Lookup returns (r, g, b, density) at s, clamped to [0,1] like
+// TransferFunction.Lookup.
+func (l *TFLUT) Lookup(s float64) (r, g, b, density float64) {
+	x := s * l.last
+	if !(x > 0) { // also catches NaN
+		e := &l.tab[0]
+		return e[0], e[1], e[2], e[3]
+	}
+	if x >= l.last {
+		e := &l.tab[len(l.tab)-1]
+		return e[0], e[1], e[2], e[3]
+	}
+	i := int(x)
+	f := x - float64(i)
+	a, b2 := &l.tab[i], &l.tab[i+1]
+	return a[0] + f*(b2[0]-a[0]), a[1] + f*(b2[1]-a[1]),
+		a[2] + f*(b2[2]-a[2]), a[3] + f*(b2[3]-a[3])
+}
+
 // GrayTF is a grayscale ramp transfer function (useful for comparing
 // against the LIC surface imagery).
 func GrayTF() *TransferFunction {

@@ -2,7 +2,10 @@
 // ray casting through octree blocks of hexahedral cells with trilinear
 // interpolation, transfer functions, 8-bit quantization, gradient Phong
 // lighting, adaptive level-of-detail sampling, and the temporal-domain
-// enhancement filter of the paper's Section 4.2.
+// enhancement filter of the paper's Section 4.2. RenderParallel and
+// RenderBlocks provide the shared-memory parallel engine (worker-pool
+// block rendering, tile-parallel ray casting, parallel strip compositing)
+// with pixel-exact parity against the serial reference path.
 package render
 
 import "math"
@@ -90,6 +93,16 @@ func (v *View) prepare() {
 	v.origin0 = add(planeC,
 		add(scale(v.right, -v.Extent/2+px/2),
 			scale(v.upv, (v.Extent*float64(v.Height)/float64(v.Width))/2-px/2)))
+}
+
+// Prepare computes and freezes the camera frame: afterwards Ray, Project
+// and ViewDir only read the struct, which makes the View safe to share
+// across goroutines. The parallel render paths freeze a private copy, so
+// a caller's View keeps its lazy semantics. Field changes after Prepare
+// are not picked up — build a new View instead.
+func (v *View) Prepare() {
+	v.prepare()
+	v.ready = true
 }
 
 // Ray returns the origin and direction of the ray through pixel (x, y).
