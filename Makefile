@@ -1,10 +1,12 @@
 # Tier-1 verification plus the race detector and benchmarks in one place.
 #
 #   make check   # build + vet + test + race: what CI should run
+#   make ci      # check plus the perf regression gate (CSR SpMV speedup)
 #   make bench   # paper-figure and hot-kernel benchmarks
+#   make fuzz    # short fuzz sessions for the datatype and RLE codecs
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench check ci fuzz
 
 build:
 	$(GO) build ./...
@@ -23,5 +25,22 @@ vet:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/render/
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/quake/
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/mpiio/
 
 check: build vet test race
+
+# ci is what the GitHub Actions workflow runs: the full functional gates
+# (which include the allocation-regression, golden-pipeline, fuzz-seed and
+# equivalence suites added in PR 2) plus the wall-clock SpMV speedup gate,
+# which only asserts when REPRO_PERF_ASSERT=1 so plain `go test ./...`
+# stays immune to scheduler noise.
+ci: check
+	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestSpMVSpeedupGate' -v ./internal/quake/
+
+# Short exploratory fuzz sessions; the committed seeds alone run in `test`.
+fuzz:
+	$(GO) test -run='^$$' -fuzz='^FuzzCoalesce$$' -fuzztime=30s ./internal/mpiio/
+	$(GO) test -run='^$$' -fuzz='^FuzzIndexedBlockSegments$$' -fuzztime=30s ./internal/mpiio/
+	$(GO) test -run='^$$' -fuzz='^FuzzRLERoundTrip$$' -fuzztime=30s ./internal/compositor/
+	$(GO) test -run='^$$' -fuzz='^FuzzDecodeRLE$$' -fuzztime=30s ./internal/compositor/

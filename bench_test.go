@@ -150,6 +150,18 @@ func BenchmarkRenderParallel(b *testing.B) {
 			}
 		})
 	}
+	// The animation-loop path: block extraction reuses a scratch, so the
+	// steady-state frame does no per-block allocation.
+	b.Run("workers-2-scratch", func(b *testing.B) {
+		var scratch render.ExtractScratch
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			view := render.DefaultView(128, 128)
+			if _, err := render.RenderParallelWith(rr, m, scalar, 2, m.Tree.MaxDepth(), &view, 2, &scratch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkSolverStep measures one explicit elastodynamic timestep.

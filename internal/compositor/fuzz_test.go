@@ -1,0 +1,73 @@
+package compositor
+
+// Fuzz harness for the RLE transparent-run codec (seed corpus committed via
+// f.Add). Encode elides fully transparent pixels, so the round-trip
+// reference is the input with every alpha==0 pixel zeroed; everything else
+// must survive bit-for-bit (including NaN and denormal channel values).
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/img"
+)
+
+func FuzzRLERoundTrip(f *testing.F) {
+	f.Add(2, 2, []byte{})
+	f.Add(1, 4, []byte{0, 0, 0, 0, 1, 2, 3, 4})
+	f.Add(3, 3, []byte{0x80, 0x3f, 0, 0, 0x80, 0x3f, 0xff, 0xff})
+	f.Add(4, 1, []byte{0, 0, 0xc0, 0x7f}) // NaN bits
+	f.Fuzz(func(t *testing.T, w, h int, data []byte) {
+		w, h = w%16, h%16
+		if w <= 0 || h <= 0 {
+			t.Skip()
+		}
+		m := img.New(w, h)
+		for i := range m.Pix {
+			if 4*i+4 <= len(data) {
+				m.Pix[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+			}
+		}
+		// Reference: decode cannot reconstruct channels of pixels whose
+		// alpha compares equal to zero (that is the compression).
+		want := img.New(w, h)
+		for p := 0; p < w*h; p++ {
+			if a := m.Pix[4*p+3]; a != 0 {
+				copy(want.Pix[4*p:4*p+4], m.Pix[4*p:4*p+4])
+			}
+		}
+		enc := EncodeRLE(m)
+		got, err := DecodeRLE(enc, w, h)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		for i := range want.Pix {
+			if math.Float32bits(got.Pix[i]) != math.Float32bits(want.Pix[i]) {
+				t.Fatalf("pixel float %d: got bits %08x, want %08x",
+					i, math.Float32bits(got.Pix[i]), math.Float32bits(want.Pix[i]))
+			}
+		}
+		if int64(len(enc)) > RawBytes(m)+8*int64(w*h) {
+			t.Fatalf("encoding is larger than worst case: %d bytes", len(enc))
+		}
+	})
+}
+
+// FuzzDecodeRLE feeds arbitrary bytes to the decoder, which must reject or
+// decode them without panicking or writing out of bounds.
+func FuzzDecodeRLE(f *testing.F) {
+	f.Add(2, 2, []byte{})
+	f.Add(2, 2, []byte{1, 0, 0, 0, 200, 0, 0, 0}) // run overflows the image
+	f.Add(1, 1, []byte{0, 0, 0, 0, 1, 0, 0, 0, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, w, h int, data []byte) {
+		w, h = w%32, h%32
+		if w <= 0 || h <= 0 {
+			t.Skip()
+		}
+		m, err := DecodeRLE(data, w, h)
+		if err == nil && (m.W != w || m.H != h || len(m.Pix) != 4*w*h) {
+			t.Fatalf("decoded image has wrong shape %dx%d", m.W, m.H)
+		}
+	})
+}

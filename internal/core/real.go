@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 
@@ -42,10 +43,14 @@ type RealWorkload struct {
 	owner        []int   // block -> renderer
 	rblocks      [][]int // renderer -> blocks
 	blockCells   [][]octree.Cell
+	blockBD      []*render.BlockData // per-block template with prebuilt index
 	blockCorner  [][][8]int32
 	blockNodeIDs [][]int32
-	blockLocal   []map[int32]int32 // node id -> index in blockNodeIDs
-	ipBlocks     [][]int           // part -> blocks (collective read ownership)
+	// blockCornerLocal[bi][ci][k] is the index of blockCorner[bi][ci][k]
+	// within blockNodeIDs[bi] — the flat replacement for the old per-block
+	// node-id map, so the per-frame value scatter does no map lookups.
+	blockCornerLocal [][][8]int32
+	ipBlocks         [][]int // part -> blocks (collective read ownership)
 
 	allNeeded []int32 // union of node ids at the render level, sorted
 
@@ -139,15 +144,18 @@ func NewRealWorkload(l Layout, opts Options, store pfs.Store) (*RealWorkload, er
 	w.blocks = m.Tree.Blocks(opts.BlockLevel)
 	nb := len(w.blocks)
 	w.blockCells = make([][]octree.Cell, nb)
+	w.blockBD = make([]*render.BlockData, nb)
 	w.blockCorner = make([][][8]int32, nb)
 	w.blockNodeIDs = make([][]int32, nb)
-	w.blockLocal = make([]map[int32]int32, nb)
+	w.blockCornerLocal = make([][][8]int32, nb)
+	zeros := make([]float32, m.NumNodes())
 	for bi, b := range w.blocks {
-		bd, err := render.ExtractBlockData(m, make([]float32, m.NumNodes()), b, w.level)
+		bd, err := render.ExtractBlockData(m, zeros, b, w.level)
 		if err != nil {
 			return nil, err
 		}
 		w.blockCells[bi] = bd.Cells
+		w.blockBD[bi] = bd // template: index prebuilt, Vals replaced per frame
 		corners := make([][8]int32, len(bd.Cells))
 		for ci, cell := range bd.Cells {
 			ids, err := cellCornerIDs(m, cell)
@@ -158,27 +166,33 @@ func NewRealWorkload(l Layout, opts Options, store pfs.Store) (*RealWorkload, er
 		}
 		w.blockCorner[bi] = corners
 		w.blockNodeIDs[bi] = render.BlockNodeIDs(m, b, w.level)
-		local := make(map[int32]int32, len(w.blockNodeIDs[bi]))
-		for k, id := range w.blockNodeIDs[bi] {
-			local[id] = int32(k)
+		local := make([][8]int32, len(corners))
+		for ci, ids := range corners {
+			for k, id := range ids {
+				pos, ok := slices.BinarySearch(w.blockNodeIDs[bi], id)
+				if !ok {
+					return nil, fmt.Errorf("core: corner node %d of block %d missing from its node set", id, bi)
+				}
+				local[ci][k] = int32(pos)
+			}
 		}
-		w.blockLocal[bi] = local
+		w.blockCornerLocal[bi] = local
 	}
 
-	// Load balance: largest blocks first onto the least-loaded renderer.
+	// Load balance with longest-processing-time assignment: sort the blocks
+	// by descending cell count (stable, so equal-sized blocks keep their
+	// key order), then place each on the least-loaded renderer. The sort
+	// replaces PR 1's O(n^2) selection sort; the resulting max load is
+	// identical because the greedy placement only sees the size sequence.
 	w.owner = make([]int, nb)
 	w.rblocks = make([][]int, l.Renderers)
 	order := make([]int, nb)
 	for i := range order {
 		order[i] = i
 	}
-	for i := 0; i < nb; i++ { // selection sort by descending workload
-		for j := i + 1; j < nb; j++ {
-			if len(w.blockCells[order[j]]) > len(w.blockCells[order[i]]) {
-				order[i], order[j] = order[j], order[i]
-			}
-		}
-	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return len(w.blockCells[order[a]]) > len(w.blockCells[order[b]])
+	})
 	load := make([]int, l.Renderers)
 	for _, bi := range order {
 		best := 0
@@ -637,7 +651,10 @@ func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any,
 	mine := w.rblocks[r]
 	bds := make([]*render.BlockData, len(mine))
 	for i, bi := range mine {
-		bd := &render.BlockData{Root: w.blocks[bi].Root, Cells: w.blockCells[bi]}
+		// Shallow-copy the template: Cells and the point-location index are
+		// shared read-only, only the per-frame Vals are fresh.
+		bd := new(render.BlockData)
+		*bd = *w.blockBD[bi]
 		cells := w.blockCells[bi]
 		bd.Vals = make([][8]float32, len(cells))
 		switch w.opts.ReadStrategy {
@@ -656,10 +673,9 @@ func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any,
 			if !ok {
 				return nil, fmt.Errorf("core: renderer %d missing block %d at step %d", r, bi, t)
 			}
-			local := w.blockLocal[bi]
-			for ci, corners := range w.blockCorner[bi] {
-				for k, id := range corners {
-					bd.Vals[ci][k] = float32(nv[local[id]]) / 255
+			for ci, local := range w.blockCornerLocal[bi] {
+				for k := 0; k < 8; k++ {
+					bd.Vals[ci][k] = float32(nv[local[k]]) / 255
 				}
 			}
 		}

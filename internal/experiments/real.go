@@ -321,6 +321,9 @@ func Fig13(quick bool, imgDir string) (*trace.Table, error) {
 	surf := m.SurfaceNodes()
 	tb := trace.NewTable("Figures 13/14 — volume + surface LIC",
 		"step", "surface_nodes", "lic_time_s", "volume_time_s")
+	// One scratch across the animation: steady-state frames re-extract the
+	// same block partition with zero allocations.
+	var scratch render.ExtractScratch
 	for t := 0; t < nsteps; t++ {
 		buf := make([]byte, m.NumNodes()*quake.BytesPerNode)
 		if err := st.ReadAt(nil, quake.StepObject(t), 0, buf); err != nil {
@@ -351,7 +354,7 @@ func Fig13(quick bool, imgDir string) (*trace.Table, error) {
 		scalar := render.Dequantize(render.Quantize(render.Magnitude(vec), 0, vmax))
 		view := render.DefaultView(px, px)
 		start = time.Now()
-		vol, err := render.RenderParallel(render.NewRenderer(), m, scalar, 2, m.Tree.MaxDepth(), &view, Workers)
+		vol, err := render.RenderParallelWith(render.NewRenderer(), m, scalar, 2, m.Tree.MaxDepth(), &view, Workers, &scratch)
 		if err != nil {
 			return nil, err
 		}

@@ -108,13 +108,12 @@ func Coalesce(segs []Segment) []Segment {
 	return out
 }
 
-// shift returns the segments displaced by disp bytes.
-func shift(segs []Segment, disp int64) []Segment {
-	out := make([]Segment, len(segs))
-	for i, s := range segs {
-		out[i] = Segment{Off: s.Off + disp, Len: s.Len}
+// shiftInto appends the segments displaced by disp bytes to dst.
+func shiftInto(dst, segs []Segment, disp int64) []Segment {
+	for _, s := range segs {
+		dst = append(dst, Segment{Off: s.Off + disp, Len: s.Len})
 	}
-	return out
+	return dst
 }
 
 // validate checks segment sanity for error messages.

@@ -27,6 +27,16 @@ type File struct {
 	// SieveGap tunes data sieving; zero disables coalescing through holes.
 	SieveGap int64
 
+	// Steady-state buffers: the view's absolute segments are computed once
+	// per SetView, and independent reads reuse the sieve plan and one
+	// packed physical-read buffer, so a repeated ReadInto with an unchanged
+	// view allocates nothing.
+	viewSegs  []Segment
+	viewErr   error
+	viewFresh bool
+	plan      []Segment
+	scratch   []byte
+
 	// Stats for the I/O strategy experiments.
 	PhysReads    int   // physical read requests issued
 	PhysBytes    int64 // bytes physically read (including sieved holes)
@@ -52,73 +62,130 @@ func (f *File) Size() int64 { return f.size }
 func (f *File) SetView(disp int64, t Datatype) {
 	f.disp = disp
 	f.view = t
+	f.viewFresh = false
 }
 
-// segs returns the absolute byte segments of the current view.
+// segs returns the absolute byte segments of the current view, computing
+// them on the first read after a SetView and reusing the cached slice
+// afterwards. The slice is valid until the next SetView.
 func (f *File) segs() ([]Segment, error) {
-	s := shift(f.view.Segments(), f.disp)
-	if err := validate(s); err != nil {
-		return nil, err
+	if f.viewFresh {
+		return f.viewSegs, f.viewErr
 	}
-	for _, seg := range s {
-		if seg.Off+seg.Len > f.size {
-			return nil, fmt.Errorf("mpiio: view segment [%d,%d) beyond EOF of %q (size %d)", seg.Off, seg.Off+seg.Len, f.name, f.size)
+	f.viewSegs = shiftInto(f.viewSegs[:0], f.view.Segments(), f.disp)
+	f.viewErr = validate(f.viewSegs)
+	if f.viewErr == nil {
+		for _, seg := range f.viewSegs {
+			if seg.Off+seg.Len > f.size {
+				f.viewErr = fmt.Errorf("mpiio: view segment [%d,%d) beyond EOF of %q (size %d)", seg.Off, seg.Off+seg.Len, f.name, f.size)
+				break
+			}
 		}
 	}
-	return s, nil
+	f.viewFresh = true
+	return f.viewSegs, f.viewErr
 }
 
-// planSieve groups view segments into physical reads, reading through
-// holes no larger than SieveGap (data sieving).
+// ViewSize returns the number of useful bytes the current view selects —
+// the length ReadInto's destination must have.
+func (f *File) ViewSize() (int64, error) {
+	segs, err := f.segs()
+	if err != nil {
+		return 0, err
+	}
+	var useful int64
+	for _, s := range segs {
+		useful += s.Len
+	}
+	return useful, nil
+}
+
+// planSieveInto appends the sieve plan to dst: view segments grouped into
+// physical reads, reading through holes no larger than gap (data sieving).
+func planSieveInto(dst, segs []Segment, gap int64) []Segment {
+	for _, s := range segs {
+		if n := len(dst); n > 0 {
+			last := &dst[n-1]
+			if s.Off-(last.Off+last.Len) <= gap {
+				last.Len = s.Off + s.Len - last.Off
+				continue
+			}
+		}
+		dst = append(dst, s)
+	}
+	return dst
+}
+
+// planSieve groups view segments into physical reads (fresh slice).
 func planSieve(segs []Segment, gap int64) []Segment {
 	if len(segs) == 0 {
 		return nil
 	}
-	plan := []Segment{segs[0]}
-	for _, s := range segs[1:] {
-		last := &plan[len(plan)-1]
-		if s.Off-(last.Off+last.Len) <= gap {
-			last.Len = s.Off + s.Len - last.Off
-		} else {
-			plan = append(plan, s)
-		}
-	}
-	return plan
+	return planSieveInto(make([]Segment, 0, len(segs)), segs, gap)
 }
 
 // Read performs an independent read of the entire view and returns the
 // useful bytes packed in view order. Noncontiguous views are serviced with
 // data sieving.
 func (f *File) Read() ([]byte, error) {
-	segs, err := f.segs()
+	useful, err := f.ViewSize()
 	if err != nil {
 		return nil, err
+	}
+	out := make([]byte, useful)
+	if _, err := f.ReadInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadInto is Read writing the packed view bytes into dst (which must hold
+// ViewSize bytes) and returning the byte count. Every physical sieve run
+// lands back-to-back in one reusable contiguous scratch buffer — a packed
+// contiguous read per run instead of a per-displacement allocation loop —
+// and the useful parts are then scatter-copied into dst, so the steady
+// state of a step loop with an unchanged view allocates nothing.
+func (f *File) ReadInto(dst []byte) (int, error) {
+	segs, err := f.segs()
+	if err != nil {
+		return 0, err
 	}
 	var useful int64
 	for _, s := range segs {
 		useful += s.Len
 	}
-	out := make([]byte, useful)
-	plan := planSieve(segs, f.SieveGap)
-	// Read each physical run once, then scatter the useful parts.
+	if int64(len(dst)) < useful {
+		return 0, fmt.Errorf("mpiio: ReadInto buffer holds %d of %d view bytes", len(dst), useful)
+	}
+	f.plan = planSieveInto(f.plan[:0], segs, f.SieveGap)
+	var total int64
+	for _, p := range f.plan {
+		total += p.Len
+	}
+	if int64(cap(f.scratch)) < total {
+		f.scratch = make([]byte, total)
+	}
+	packed := f.scratch[:total]
 	pos := int64(0)
+	base := int64(0)
 	si := 0
-	for _, p := range plan {
-		buf := make([]byte, p.Len)
-		if err := f.st.ReadAt(f.c, f.name, p.Off, buf); err != nil {
-			return nil, err
+	for _, p := range f.plan {
+		run := packed[base : base+p.Len]
+		base += p.Len
+		if err := f.st.ReadAt(f.c, f.name, p.Off, run); err != nil {
+			return 0, err
 		}
 		f.PhysReads++
 		f.PhysBytes += p.Len
 		for si < len(segs) && segs[si].Off+segs[si].Len <= p.Off+p.Len {
 			s := segs[si]
-			copy(out[pos:pos+s.Len], buf[s.Off-p.Off:])
+			copy(dst[pos:pos+s.Len], run[s.Off-p.Off:])
 			pos += s.Len
 			si++
 		}
 	}
 	f.UsefulBytes += useful
-	return out, nil
+	return int(useful), nil
 }
 
 // ReadContig reads [off, off+n) directly, bypassing the view. This is the
@@ -197,25 +264,34 @@ func (f *File) ReadAll(seq int) ([]byte, error) {
 	}
 	clipped = Coalesce(clipped)
 	plan := planSieve(clipped, f.SieveGap)
-	// Read the physical runs.
-	type run struct {
-		off int64
-		buf []byte
-	}
-	var runs []run
+	// Read the physical runs back-to-back into one packed buffer (a single
+	// allocation regardless of the run count). The buffer is per-call, not
+	// the reusable scratch: the pieces shuffled to other ranks alias it
+	// until their assembly completes, which may outlive this call.
+	var total int64
 	for _, p := range plan {
-		buf := make([]byte, p.Len)
+		total += p.Len
+	}
+	packed := make([]byte, total)
+	type run struct {
+		off, base, len int64
+	}
+	runs := make([]run, 0, len(plan))
+	base := int64(0)
+	for _, p := range plan {
+		buf := packed[base : base+p.Len]
 		if err := f.st.ReadAt(f.c, f.name, p.Off, buf); err != nil {
 			return nil, err
 		}
 		f.PhysReads++
 		f.PhysBytes += p.Len
-		runs = append(runs, run{p.Off, buf})
+		runs = append(runs, run{p.Off, base, p.Len})
+		base += p.Len
 	}
 	lookup := func(off, n int64) []byte {
 		for _, r := range runs {
-			if off >= r.off && off+n <= r.off+int64(len(r.buf)) {
-				return r.buf[off-r.off : off-r.off+n]
+			if off >= r.off && off+n <= r.off+r.len {
+				return packed[r.base+off-r.off : r.base+off-r.off+n]
 			}
 		}
 		panic("mpiio: two-phase lookup miss")
@@ -257,26 +333,22 @@ func (f *File) ReadAll(seq int) ([]byte, error) {
 			mine = append(mine, msg.Data.([]piece)...)
 		}
 	}
-	// Assemble into packed view order.
-	var useful int64
-	for _, s := range mySegs {
-		useful += s.Len
+	// Assemble into packed view order: prefix sums give each (sorted)
+	// segment's packed position, and each piece finds its containing
+	// segment by binary search.
+	prefix := make([]int64, len(mySegs)+1)
+	for i, s := range mySegs {
+		prefix[i+1] = prefix[i] + s.Len
 	}
+	useful := prefix[len(mySegs)]
 	out := make([]byte, useful)
 	filled := int64(0)
-	pos := make(map[int64]int64, len(mySegs)) // seg offset -> packed position
-	p := int64(0)
-	for _, s := range mySegs {
-		pos[s.Off] = p
-		p += s.Len
-	}
 	for _, pc := range mine {
-		// Find the containing view segment.
-		base, off := findSeg(mySegs, pc.Off)
-		if base < 0 {
+		si := findSegIdx(mySegs, pc.Off)
+		if si < 0 {
 			return nil, fmt.Errorf("mpiio: received stray piece at %d", pc.Off)
 		}
-		copy(out[pos[base]+off:], pc.Data)
+		copy(out[prefix[si]+pc.Off-mySegs[si].Off:], pc.Data)
 		filled += int64(len(pc.Data))
 	}
 	if filled != useful {
@@ -302,13 +374,21 @@ func clip(s Segment, lo, hi int64) Segment {
 	return Segment{Off: o, Len: e - o}
 }
 
-// findSeg locates the segment containing file offset off, returning the
-// segment's start offset and the offset within it, or (-1, 0).
-func findSeg(segs []Segment, off int64) (base, rel int64) {
-	for _, s := range segs {
-		if off >= s.Off && off < s.Off+s.Len {
-			return s.Off, off - s.Off
+// findSegIdx locates the index of the sorted segment containing file
+// offset off by binary search, or -1.
+func findSegIdx(segs []Segment, off int64) int {
+	lo, hi := 0, len(segs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if segs[mid].Off <= off {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return -1, 0
+	i := lo - 1
+	if i < 0 || off >= segs[i].Off+segs[i].Len {
+		return -1
+	}
+	return i
 }

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"runtime"
-	"sync"
 
 	"repro/internal/mesh"
 )
@@ -33,7 +32,10 @@ func DefaultSolverConfig() SolverConfig {
 
 // Solver advances the elastodynamic system M a + C v + K u = f with lumped
 // mass, mass-proportional damping and central differences. Hanging-node
-// constraints are enforced by master-slave reduction.
+// constraints are enforced by master-slave reduction. The stiffness matrix
+// is assembled once into a CSR representation (see csrStiffness), so the
+// per-step inner loop is a single allocation-free SpMV at memory bandwidth
+// instead of dense element matvecs.
 type Solver struct {
 	M   *mesh.Mesh
 	DT  float64
@@ -45,11 +47,13 @@ type Solver struct {
 	alpha           []float64 // N damping coefficient
 	fixed           []bool    // N
 
+	K    *csrStiffness // assembled -K, built once in NewSolver
+	xbuf []float64     // 3N scratch for the damped SpMV input u + beta*v
+
 	sources []Source
 	step    int
 
 	workers int
-	fbuf    [][]float64 // per-worker force buffers
 }
 
 // NewSolver builds a solver for the mesh. The timestep is set from the CFL
@@ -72,11 +76,9 @@ func NewSolver(m *mesh.Mesh, cfg SolverConfig) (*Solver, error) {
 	if s.workers <= 0 {
 		s.workers = runtime.GOMAXPROCS(0)
 	}
-	if s.workers > 1 {
-		s.fbuf = make([][]float64, s.workers)
-		for i := range s.fbuf {
-			s.fbuf[i] = make([]float64, 3*n)
-		}
+	s.K = buildCSR(m)
+	if cfg.DampBeta > 0 {
+		s.xbuf = make([]float64, 3*n)
 	}
 
 	// Lumped mass and CFL limit.
@@ -147,72 +149,20 @@ func (s *Solver) Time() float64 { return float64(s.step) * s.DT }
 // StepCount returns the number of completed steps.
 func (s *Solver) StepCount() int { return s.step }
 
-// assembleForces computes f = -K u (internal elastic forces) in parallel.
+// assembleForces computes f = -K x (internal elastic forces, plus folded
+// stiffness-proportional damping) with one CSR SpMV. Stiffness damping
+// folds into the matvec input: the elastic + damping force is K(u + beta*v)
+// with v ~ (u - uPrev)/dt.
 func (s *Solver) assembleForces() {
-	for i := range s.f {
-		s.f[i] = 0
-	}
-	elems := s.M.Elems
-	if s.workers <= 1 || len(elems) < 256 {
-		s.assembleRange(elems, s.f)
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (len(elems) + s.workers - 1) / s.workers
-	for w := 0; w < s.workers; w++ {
-		lo := w * chunk
-		if lo >= len(elems) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(elems) {
-			hi = len(elems)
-		}
-		buf := s.fbuf[w]
-		for i := range buf {
-			buf[i] = 0
-		}
-		wg.Add(1)
-		go func(es []mesh.Elem, buf []float64) {
-			defer wg.Done()
-			s.assembleRange(es, buf)
-		}(elems[lo:hi], buf)
-	}
-	wg.Wait()
-	for w := 0; w < s.workers; w++ {
-		buf := s.fbuf[w]
-		for i, v := range buf {
-			s.f[i] += v
-		}
-	}
-}
-
-func (s *Solver) assembleRange(elems []mesh.Elem, out []float64) {
-	var ue, fe [24]float64
-	// Stiffness-proportional damping folds into one matvec: the elastic +
-	// damping force is K(u + beta*v) with v ~ (u - uPrev)/dt.
-	bod := 0.0
+	x := s.u
 	if s.cfg.DampBeta > 0 {
-		bod = s.cfg.DampBeta / s.DT
-	}
-	for ei := range elems {
-		e := &elems[ei]
-		h := e.Leaf.Size() * s.M.Domain
-		lambda, mu := e.Mat.Lame()
-		for i := 0; i < 8; i++ {
-			b := 3 * int(e.N[i])
-			ue[3*i] = s.u[b] + bod*(s.u[b]-s.uPrev[b])
-			ue[3*i+1] = s.u[b+1] + bod*(s.u[b+1]-s.uPrev[b+1])
-			ue[3*i+2] = s.u[b+2] + bod*(s.u[b+2]-s.uPrev[b+2])
+		bod := s.cfg.DampBeta / s.DT
+		for i, u := range s.u {
+			s.xbuf[i] = u + bod*(u-s.uPrev[i])
 		}
-		elemForce(h, lambda, mu, &ue, &fe)
-		for i := 0; i < 8; i++ {
-			b := 3 * int(e.N[i])
-			out[b] -= fe[3*i]
-			out[b+1] -= fe[3*i+1]
-			out[b+2] -= fe[3*i+2]
-		}
+		x = s.xbuf
 	}
+	s.K.MulVec(s.f, x, s.workers)
 }
 
 // Step advances one timestep.

@@ -13,13 +13,20 @@ import (
 // rendering adaptively at a coarser level) with the eight corner scalar
 // values of each cell. This is what the input processors extract from the
 // raw node array and ship to the rendering processors.
+//
+// Cells are stored in ascending octree Key (Morton preorder) order — the
+// order extraction produces naturally — and point location is a single
+// predecessor binary search over the flat key array, so a BlockData holds
+// no maps and steady-state re-extraction into an existing BlockData
+// allocates nothing.
 type BlockData struct {
 	Root  octree.Cell
 	Cells []octree.Cell
 	Vals  [][8]float32 // corner values per cell, x-fastest corner order
 
-	pos     map[octree.Cell]int
+	keys    []uint64 // Cells[i].Key(), strictly ascending
 	minSize float64
+	indexed bool
 }
 
 // SizeBytes estimates the payload size of the block for transfer modeling.
@@ -45,19 +52,28 @@ func (b *BlockData) MaxValue() float32 {
 	return mx
 }
 
-// index builds the point-location index.
+// index builds the point-location index: the flat array of cell keys.
+// Extraction fills it inline; this lazy path serves BlockData assembled
+// directly from precomputed cell tables (the distributed pipeline). Cells
+// must be in ascending Key order, which every extraction-derived cell list
+// is; out-of-order cells panic rather than silently mislocate samples.
 func (b *BlockData) index() {
-	if b.pos != nil {
+	if b.indexed {
 		return
 	}
-	b.pos = make(map[octree.Cell]int, len(b.Cells))
+	b.keys = b.keys[:0]
 	b.minSize = 1.0
 	for i, c := range b.Cells {
-		b.pos[c] = i
+		k := c.Key()
+		if i > 0 && k <= b.keys[i-1] {
+			panic(fmt.Sprintf("render: BlockData cells out of key order at %d (%v)", i, c))
+		}
+		b.keys = append(b.keys, k)
 		if s := c.Size(); s < b.minSize {
 			b.minSize = s
 		}
 	}
+	b.indexed = true
 }
 
 // MinCellSize returns the smallest cell edge in the block (unit cube).
@@ -66,15 +82,31 @@ func (b *BlockData) MinCellSize() float64 {
 	return b.minSize
 }
 
-// find locates the cell containing unit point p, or -1.
+// find locates the cell containing unit point p, or -1. Because the cells
+// are disjoint and key-sorted (Morton preorder), the containing cell — the
+// unique ancestor of p's finest-level cell present in the block — is the
+// predecessor of that cell's key.
 func (b *BlockData) find(p Vec3) int {
 	b.index()
-	for l := b.Root.Level; l <= octree.MaxLevel; l++ {
-		if i, ok := b.pos[octree.CellAt(p, l)]; ok {
-			return i
+	f := octree.CellAt(p, octree.MaxLevel)
+	k := f.Key()
+	lo, hi := 0, len(b.keys)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if b.keys[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return -1
+	if lo == 0 {
+		return -1
+	}
+	i := lo - 1
+	if !b.Cells[i].Contains(f) {
+		return -1
+	}
+	return i
 }
 
 // Sample interpolates the scalar field at unit point p; ok is false outside
@@ -131,29 +163,77 @@ func (b *BlockData) Gradient(p Vec3, cell int) Vec3 {
 	return g
 }
 
+// ExtractScratch holds reusable per-block extraction targets for frame
+// loops: slot i keeps the BlockData extracted for block i of the previous
+// frame, so re-extracting the same partition does zero allocations once the
+// buffers have grown to size. A scratch must not be shared by two frames in
+// flight — the returned BlockData are only valid until the next extraction
+// into the same slot. Distinct slots may be filled concurrently (the worker
+// pool does) as long as Grow ran first.
+type ExtractScratch struct {
+	bds []*BlockData
+}
+
+// Grow ensures the scratch has at least n slots. Call before filling slots
+// from multiple goroutines.
+func (s *ExtractScratch) Grow(n int) {
+	for len(s.bds) < n {
+		s.bds = append(s.bds, new(BlockData))
+	}
+}
+
+// Slot returns the i-th reusable BlockData, growing the scratch as needed.
+func (s *ExtractScratch) Slot(i int) *BlockData {
+	s.Grow(i + 1)
+	return s.bds[i]
+}
+
 // ExtractBlockData builds the render-ready data for one block of the mesh
 // at the given level: cells are the block's leaves, coarsened to `level`
 // when they are finer (adaptive rendering), and corner values are gathered
 // from the node scalar array. Scalar must be indexed by node id.
 func ExtractBlockData(m *mesh.Mesh, scalar []float32, block octree.Block, level uint8) (*BlockData, error) {
-	if len(scalar) < m.NumNodes() {
-		return nil, fmt.Errorf("render: scalar array has %d entries for %d nodes", len(scalar), m.NumNodes())
+	bd := &BlockData{}
+	if err := ExtractBlockDataInto(bd, m, scalar, block, level); err != nil {
+		return nil, err
 	}
-	bd := &BlockData{Root: block.Root}
+	return bd, nil
+}
+
+// ExtractBlockDataInto is ExtractBlockData writing into an existing
+// BlockData, reusing its cell, value and index buffers — the steady-state
+// path of an animation loop, which allocates nothing once the buffers have
+// grown. Duplicate coarsened cells are eliminated by comparing against the
+// previous cell: block leaves arrive in octree Key order, so every leaf
+// coarsening to the same ancestor is consecutive and no map is needed.
+func ExtractBlockDataInto(bd *BlockData, m *mesh.Mesh, scalar []float32, block octree.Block, level uint8) error {
+	if len(scalar) < m.NumNodes() {
+		return fmt.Errorf("render: scalar array has %d entries for %d nodes", len(scalar), m.NumNodes())
+	}
+	bd.Root = block.Root
+	bd.Cells = bd.Cells[:0]
+	bd.Vals = bd.Vals[:0]
+	bd.keys = bd.keys[:0]
+	bd.minSize = 1.0
+	bd.indexed = true
 	if level < block.Root.Level {
 		level = block.Root.Level // cells cannot be coarser than the block
 	}
-	seen := make(map[octree.Cell]bool)
 	for _, li := range block.Leaves {
 		leaf := m.Tree.Leaves[li]
 		cell := leaf
 		if leaf.Level > level {
 			cell = leaf.AncestorAt(level)
 		}
-		if seen[cell] {
-			continue
+		k := cell.Key()
+		if n := len(bd.keys); n > 0 {
+			if k == bd.keys[n-1] {
+				continue // consecutive leaves of the same coarsened cell
+			}
+			if k < bd.keys[n-1] {
+				return fmt.Errorf("render: block leaves out of key order at cell %v", cell)
+			}
 		}
-		seen[cell] = true
 		var vals [8]float32
 		if cell == leaf {
 			for i, nid := range m.Elems[li].N {
@@ -170,40 +250,44 @@ func ExtractBlockData(m *mesh.Mesh, scalar []float32, block octree.Block, level 
 				}
 				nid, ok := m.NodeIndex[g]
 				if !ok {
-					return nil, fmt.Errorf("render: missing corner node %v for cell %v", g, cell)
+					return fmt.Errorf("render: missing corner node %v for cell %v", g, cell)
 				}
 				vals[i] = scalar[nid]
 			}
 		}
 		bd.Cells = append(bd.Cells, cell)
 		bd.Vals = append(bd.Vals, vals)
+		bd.keys = append(bd.keys, k)
+		if s := cell.Size(); s < bd.minSize {
+			bd.minSize = s
+		}
 	}
-	return bd, nil
+	return nil
 }
 
 // BlockNodeIDs returns the sorted unique node ids needed to extract the
 // block at the given level — the read set used for adaptive fetching with
 // MPI-IO indexed reads.
 func BlockNodeIDs(m *mesh.Mesh, block octree.Block, level uint8) []int32 {
-	set := make(map[int32]bool)
 	if level < block.Root.Level {
 		level = block.Root.Level
 	}
-	seen := make(map[octree.Cell]bool)
+	var ids []int32
+	var lastKey uint64
+	have := false
 	for _, li := range block.Leaves {
 		leaf := m.Tree.Leaves[li]
 		cell := leaf
 		if leaf.Level > level {
 			cell = leaf.AncestorAt(level)
 		}
-		if seen[cell] {
+		if k := cell.Key(); have && k == lastKey {
 			continue
+		} else {
+			lastKey, have = k, true
 		}
-		seen[cell] = true
 		if cell == leaf {
-			for _, nid := range m.Elems[li].N {
-				set[nid] = true
-			}
+			ids = append(ids, m.Elems[li].N[:]...)
 			continue
 		}
 		x, y, z := cell.Anchor()
@@ -211,14 +295,10 @@ func BlockNodeIDs(m *mesh.Mesh, block octree.Block, level uint8) []int32 {
 		for i := 0; i < 8; i++ {
 			g := mesh.GridCoord{x + step*uint32(i&1), y + step*uint32(i>>1&1), z + step*uint32(i>>2&1)}
 			if nid, ok := m.NodeIndex[g]; ok {
-				set[nid] = true
+				ids = append(ids, nid)
 			}
 		}
 	}
-	out := make([]int32, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	slices.Sort(out)
-	return out
+	slices.Sort(ids)
+	return slices.Compact(ids)
 }

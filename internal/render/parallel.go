@@ -181,10 +181,21 @@ func (r *Renderer) RenderBlocks(bds []*BlockData, view *View, workers int) []*Fr
 // by exactly one goroutine with identical arithmetic. workers == 1
 // delegates to RenderSerial, the single-threaded reference path.
 func RenderParallel(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel, level uint8, view *View, workers int) (*img.Image, error) {
+	return RenderParallelWith(rr, m, scalar, blockLevel, level, view, workers, nil)
+}
+
+// RenderParallelWith is RenderParallel with a reusable extraction scratch
+// for frame loops: block i is extracted into scratch slot i, so rendering
+// the same mesh partition every frame does zero map or block-data
+// allocations at steady state. A nil scratch extracts into fresh
+// allocations (identical to RenderParallel). The scratch's block data are
+// overwritten by the next frame, so at most one frame may be in flight per
+// scratch. Output is pixel-exact for any workers/scratch combination.
+func RenderParallelWith(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel, level uint8, view *View, workers int, scratch *ExtractScratch) (*img.Image, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers == 1 {
+	if workers == 1 && scratch == nil {
 		return RenderSerial(rr, m, scalar, blockLevel, level, view)
 	}
 	rr.Prepare()
@@ -202,11 +213,17 @@ func RenderParallel(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel, le
 		rank[bi] = vis
 	}
 	bds := make([]*BlockData, len(blocks))
+	if scratch != nil {
+		scratch.Grow(len(blocks)) // slots must exist before the fan-out
+	}
 	var mu sync.Mutex
 	var firstErr error
 	forEach(workers, len(blocks), func(i int) {
-		bd, err := ExtractBlockData(m, scalar, blocks[i], level)
-		if err != nil {
+		bd := &BlockData{}
+		if scratch != nil {
+			bd = scratch.Slot(i)
+		}
+		if err := ExtractBlockDataInto(bd, m, scalar, blocks[i], level); err != nil {
 			mu.Lock()
 			if firstErr == nil {
 				firstErr = err

@@ -5,7 +5,7 @@ import (
 )
 
 // benchRaySetup prepares a block and one central ray through it.
-func benchRaySetup(b *testing.B, lighting bool) (*Renderer, *sampler, Vec3, Vec3, float64, float64, float64) {
+func benchRaySetup(b testing.TB, lighting bool) (*Renderer, *sampler, Vec3, Vec3, float64, float64, float64) {
 	b.Helper()
 	m := uniformMesh(4)
 	f := waveField(m)
