@@ -6,7 +6,7 @@
 #   make fuzz    # short fuzz sessions for the datatype and RLE codecs
 GO ?= go
 
-.PHONY: build test race vet bench check ci fuzz
+.PHONY: build test race vet fmtcheck bench check ci fuzz
 
 build:
 	$(GO) build ./...
@@ -22,21 +22,35 @@ race:
 vet:
 	$(GO) vet ./...
 
+# fmtcheck fails (listing the offenders) if any tracked Go file is not
+# gofmt-clean, so formatting drift cannot land.
+fmtcheck:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/render/
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/quake/
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/mpiio/
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/compositor/
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/lic/
 
-check: build vet test race
+check: build vet fmtcheck test race
 
 # ci is what the GitHub Actions workflow runs: the full functional gates
-# (which include the allocation-regression, golden-pipeline, fuzz-seed and
-# equivalence suites added in PR 2) plus the wall-clock SpMV speedup gate,
-# which only asserts when REPRO_PERF_ASSERT=1 so plain `go test ./...`
-# stays immune to scheduler noise.
+# (the allocation-regression, golden-pipeline, fuzz-seed and equivalence
+# suites of PRs 2-3) plus three extras. The wall-clock speedup gates (CSR
+# SpMV, flat/RLE-stream compositeStrip) only assert when
+# REPRO_PERF_ASSERT=1 so plain `go test ./...` stays immune to scheduler
+# noise; the named alloc-gate pass restates the steady-state zero-
+# allocation guarantees loudly; and the -benchtime 1x smoke run compiles
+# and executes every hot-kernel benchmark once so they cannot bit-rot.
 ci: check
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestSpMVSpeedupGate' -v ./internal/quake/
+	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestCompositeStripSpeedupGate' -v ./internal/compositor/
+	$(GO) test -run 'AllocFree|AllocBudget|ArenaReuse' -v ./internal/compositor/ ./internal/render/ ./internal/lic/ ./internal/quadtree/
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/compositor/ ./internal/lic/ ./internal/render/ ./internal/mpiio/
 
 # Short exploratory fuzz sessions; the committed seeds alone run in `test`.
 fuzz:
@@ -44,3 +58,5 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzIndexedBlockSegments$$' -fuzztime=30s ./internal/mpiio/
 	$(GO) test -run='^$$' -fuzz='^FuzzRLERoundTrip$$' -fuzztime=30s ./internal/compositor/
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeRLE$$' -fuzztime=30s ./internal/compositor/
+	$(GO) test -run='^$$' -fuzz='^FuzzCompositeRLEStream$$' -fuzztime=30s ./internal/compositor/
+	$(GO) test -run='^$$' -fuzz='^FuzzCompositeRLEGarbage$$' -fuzztime=30s ./internal/compositor/

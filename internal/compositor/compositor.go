@@ -1,8 +1,9 @@
 package compositor
 
 import (
+	"encoding/binary"
 	"fmt"
-	"sort"
+	"math"
 
 	"repro/internal/img"
 	"repro/internal/mpi"
@@ -17,84 +18,216 @@ type Strip struct {
 // EqualStrips divides h scanlines into n contiguous strips of near-equal
 // height (the plain direct-send partition).
 func EqualStrips(h, n int) []Strip {
-	out := make([]Strip, n)
+	return equalStripsInto(make([]Strip, 0, n), h, n)
+}
+
+func equalStripsInto(out []Strip, h, n int) []Strip {
+	out = out[:0]
 	for i := 0; i < n; i++ {
 		y0 := h * i / n
 		y1 := h * (i + 1) / n
-		out[i] = Strip{Y0: y0, H: y1 - y0}
+		out = append(out, Strip{Y0: y0, H: y1 - y0})
 	}
 	return out
 }
 
 // subFragment is a piece of a fragment clipped to a strip, on the wire.
+// Exactly one of Raw/RLE is meaningful, selected by compressed; both
+// buffers are retained across reuse of a pooled payload slot.
 type subFragment struct {
-	X0, Y0  int // absolute image coordinates
-	W, H    int
-	VisRank int
-	Raw     *img.Image // exactly one of Raw/RLE is set
-	RLE     []byte
+	X0, Y0     int // absolute image coordinates
+	W, H       int
+	VisRank    int
+	compressed bool
+	Raw        *img.Image
+	RLE        []byte
 }
 
 func (s *subFragment) image() (*img.Image, error) {
-	if s.Raw != nil {
+	if !s.compressed {
 		return s.Raw, nil
 	}
 	return DecodeRLE(s.RLE, s.W, s.H)
 }
 
-// clipFragment extracts the part of f that overlaps the strip; nil if none.
-func clipFragment(f *render.Fragment, st Strip, compress bool) (*subFragment, int64) {
+// clipFragmentInto appends the part of f that overlaps the strip to p,
+// reusing the target slot's pixel/RLE buffers, and returns the wire bytes
+// contributed (0 when f does not overlap the strip). Fragments are clipped
+// in y only — the strip spans the full image width — so the clipped rows
+// are one contiguous range of f's pixel array, and the compressed path
+// encodes straight from it with no intermediate copy.
+func clipFragmentInto(p *wirePayload, f *render.Fragment, st Strip, compress bool) int64 {
 	y0 := max(f.Y0, st.Y0)
 	y1 := min(f.Y0+f.Img.H, st.Y0+st.H)
 	if y1 <= y0 || f.Img.W == 0 {
-		return nil, 0
+		return 0
 	}
 	h := y1 - y0
-	part := img.New(f.Img.W, h)
-	copy(part.Pix, f.Img.Pix[4*(y0-f.Y0)*f.Img.W:4*(y1-f.Y0)*f.Img.W])
-	sf := &subFragment{X0: f.X0, Y0: y0, W: part.W, H: h, VisRank: f.VisRank}
-	var bytes int64
+	w := f.Img.W
+	rows := f.Img.Pix[4*(y0-f.Y0)*w : 4*(y1-f.Y0)*w]
+	sf := p.add()
+	sf.X0, sf.Y0, sf.W, sf.H, sf.VisRank = f.X0, y0, w, h, f.VisRank
 	if compress {
-		sf.RLE = EncodeRLE(part)
-		bytes = int64(len(sf.RLE))
-	} else {
-		sf.Raw = part
-		bytes = RawBytes(part)
+		sf.compressed = true
+		sf.RLE = encodeRLE(sf.RLE[:0], rows, w*h)
+		return int64(len(sf.RLE))
 	}
-	return sf, bytes
+	sf.compressed = false
+	part := ensureImg(&sf.Raw, w, h)
+	copy(part.Pix, rows)
+	return RawBytes(part)
 }
 
-// compositeStrip assembles received subfragments into the strip canvas in
-// visibility order (front to back).
-func compositeStrip(w int, st Strip, subs []*subFragment) (*img.Image, error) {
-	sort.SliceStable(subs, func(i, j int) bool { return subs[i].VisRank < subs[j].VisRank })
-	out := img.New(w, st.H)
-	for _, s := range subs {
-		part, err := s.image()
-		if err != nil {
-			return nil, err
-		}
-		for y := 0; y < s.H; y++ {
-			gy := s.Y0 + y - st.Y0
-			if gy < 0 || gy >= st.H {
-				continue
-			}
-			for x := 0; x < s.W; x++ {
-				gx := s.X0 + x
-				if gx < 0 || gx >= w {
-					continue
-				}
-				sr, sg, sb, sa := part.At(x, y)
-				if sa == 0 {
-					continue
-				}
-				dr, dg, db, da := out.At(gx, gy)
-				t := 1 - da // dst (already composited, in front) over src
-				out.Set(gx, gy, dr+t*sr, dg+t*sg, db+t*sb, da+t*sa)
-			}
+// sortSubsByVis orders subfragments front to back. Insertion sort: stable
+// (matching the sort.SliceStable the per-pixel path used), allocation-free,
+// and the lists are short (one entry per overlapping block).
+func sortSubsByVis(s []*subFragment) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j].VisRank < s[j-1].VisRank; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
 		}
 	}
-	return out, nil
+}
+
+// blendRow composites one clipped source row over the canvas row with the
+// front-to-back operator (dst is already composited and in front):
+// dst += (1-dst.a) * src, skipping fully transparent source pixels. The
+// equal-length reslice up front lets the compiler drop every bounds check
+// in the pixel loop.
+func blendRow(dst, src []float32) {
+	if len(src) > len(dst) {
+		src = src[:len(dst)]
+	}
+	dst = dst[:len(src)]
+	for k := 0; k+4 <= len(src); k += 4 {
+		sa := src[k+3]
+		if sa == 0 {
+			continue
+		}
+		t := 1 - dst[k+3]
+		dst[k] += t * src[k]
+		dst[k+1] += t * src[k+1]
+		dst[k+2] += t * src[k+2]
+		dst[k+3] += t * sa
+	}
+}
+
+// blendRaw composites a raw subfragment into the strip canvas with flat
+// row-slice arithmetic over Pix (no per-pixel At/Set or bounds tests).
+func blendRaw(dst *img.Image, w int, st Strip, s *subFragment) {
+	x0 := 0
+	if s.X0 < 0 {
+		x0 = -s.X0
+	}
+	x1 := s.W
+	if s.X0+s.W > w {
+		x1 = w - s.X0
+	}
+	if x1 <= x0 {
+		return
+	}
+	for y := 0; y < s.H; y++ {
+		gy := s.Y0 + y - st.Y0
+		if gy < 0 || gy >= st.H {
+			continue
+		}
+		src := s.Raw.Pix[4*(y*s.W+x0) : 4*(y*s.W+x1)]
+		row := dst.Pix[4*(gy*w+s.X0+x0) : 4*(gy*w+s.X0+x1)]
+		blendRow(row, src)
+	}
+}
+
+// blendRLESeg composites one run segment read directly from the encoded
+// stream (16 bytes per pixel) over a canvas row slice.
+func blendRLESeg(dst []float32, src []byte) {
+	n := len(src) / 16
+	if n > len(dst)/4 {
+		n = len(dst) / 4
+	}
+	for k := 0; k < n; k++ {
+		b := src[16*k : 16*k+16 : 16*k+16]
+		d := dst[4*k : 4*k+4 : 4*k+4]
+		sa := math.Float32frombits(binary.LittleEndian.Uint32(b[12:]))
+		if sa == 0 {
+			continue
+		}
+		sr := math.Float32frombits(binary.LittleEndian.Uint32(b[0:]))
+		sg := math.Float32frombits(binary.LittleEndian.Uint32(b[4:]))
+		sb := math.Float32frombits(binary.LittleEndian.Uint32(b[8:]))
+		t := 1 - d[3]
+		d[0] += t * sr
+		d[1] += t * sg
+		d[2] += t * sb
+		d[3] += t * sa
+	}
+}
+
+// blendRLE composites a compressed subfragment directly from its encoded
+// stream: skip records only advance the pixel cursor (the whole point of
+// the transparent-run compression — skipped pixels cost nothing), and run
+// records blend row segments in place. No decoded image is materialized.
+// The stream is validated exactly as DecodeRLE validates it.
+func blendRLE(dst *img.Image, w int, st Strip, s *subFragment) error {
+	data := s.RLE
+	n := s.W * s.H
+	pos := 0
+	i := 0
+	for pos < len(data) {
+		if pos+8 > len(data) {
+			return fmt.Errorf("compositor: truncated RLE header at %d", pos)
+		}
+		skip := int(binary.LittleEndian.Uint32(data[pos:]))
+		run := int(binary.LittleEndian.Uint32(data[pos+4:]))
+		pos += 8
+		i += skip
+		// Mirror DecodeRLE's validation exactly, including the negative
+		// guards that matter on 32-bit builds (uint32 -> int wraps there).
+		if i < 0 || i+run > n || run < 0 || pos+16*run > len(data) {
+			return fmt.Errorf("compositor: RLE overrun (i=%d run=%d)", i, run)
+		}
+		for run > 0 {
+			y := i / s.W
+			x := i - y*s.W
+			seg := s.W - x
+			if seg > run {
+				seg = run
+			}
+			gy := s.Y0 + y - st.Y0
+			gx := s.X0 + x
+			lo, hi := 0, seg
+			if gx < 0 {
+				lo = -gx
+			}
+			if gx+seg > w {
+				hi = w - gx
+			}
+			if gy >= 0 && gy < st.H && hi > lo {
+				row := dst.Pix[4*(gy*w+gx+lo) : 4*(gy*w+gx+hi)]
+				blendRLESeg(row, data[pos+16*lo:pos+16*hi])
+			}
+			pos += 16 * seg
+			i += seg
+			run -= seg
+		}
+	}
+	return nil
+}
+
+// compositeStripInto assembles subfragments into the (cleared) strip canvas
+// in visibility order, front to back. Raw subfragments blend with flat row
+// slices; compressed ones blend straight from the RLE stream.
+func compositeStripInto(dst *img.Image, w int, st Strip, subs []*subFragment) error {
+	sortSubsByVis(subs)
+	for _, s := range subs {
+		if s.compressed {
+			if err := blendRLE(dst, w, st, s); err != nil {
+				return err
+			}
+		} else {
+			blendRaw(dst, w, st, s)
+		}
+	}
+	return nil
 }
 
 // Stats reports the communication volume of one compositing invocation.
@@ -110,25 +243,46 @@ type Stats struct {
 // strip.
 func DirectSend(c *mpi.Comm, group []int, me int, frags []*render.Fragment,
 	w, h, tagBase int, compress bool) (*img.Image, Strip, Stats, error) {
+	return DirectSendWith(c, group, me, frags, w, h, tagBase, compress, nil)
+}
 
+// DirectSendWith is DirectSend with a reusable per-rank scratch: wire
+// payloads, clip buffers and the strip canvas all come from scr's pools, so
+// a steady-state frame loop allocates nothing. Receivers return payload
+// buffers to this rank's pool as they finish compositing; the returned
+// strip belongs to scr until ReleaseStrip is called on it (by whoever
+// consumes it). A nil scr uses a private scratch, which behaves exactly
+// like the unpooled path.
+func DirectSendWith(c *mpi.Comm, group []int, me int, frags []*render.Fragment,
+	w, h, tagBase int, compress bool, scr *CompositeScratch) (*img.Image, Strip, Stats, error) {
+
+	if scr == nil {
+		scr = NewCompositeScratch()
+	}
 	n := len(group)
-	strips := EqualStrips(h, n)
+	scr.stripv = equalStripsInto(scr.stripv, h, n)
+	strips := scr.stripv
 	var st Stats
-	var mine []*subFragment
+	mine := scr.mine[:0]
+	recvd := scr.recvd[:0]
 	for j := 0; j < n; j++ {
-		var subs []*subFragment
+		p := &scr.self
+		if j != me {
+			p = getPayload(&scr.payloads)
+		} else {
+			p.reset()
+		}
 		var bytes int64
 		for _, f := range frags {
-			if sf, b := clipFragment(f, strips[j], compress); sf != nil {
-				subs = append(subs, sf)
-				bytes += b
-			}
+			bytes += clipFragmentInto(p, f, strips[j], compress)
 		}
 		if j == me {
-			mine = append(mine, subs...)
+			for i := range p.subs {
+				mine = append(mine, &p.subs[i])
+			}
 			continue
 		}
-		c.Send(group[j], tagBase, bytes, subs)
+		c.Send(group[j], tagBase, bytes, p)
 		st.MsgsSent++
 		st.BytesSent += bytes
 	}
@@ -137,12 +291,20 @@ func DirectSend(c *mpi.Comm, group []int, me int, frags []*render.Fragment,
 			continue
 		}
 		msg := c.Recv(group[j], tagBase)
-		if msg.Data != nil {
-			mine = append(mine, msg.Data.([]*subFragment)...)
+		if p, ok := msg.Data.(*wirePayload); ok && p != nil {
+			recvd = append(recvd, p)
+			for i := range p.subs {
+				mine = append(mine, &p.subs[i])
+			}
 		}
 	}
-	outImg, err := compositeStrip(w, strips[me], mine)
-	return outImg, strips[me], st, err
+	out := getStrip(&scr.strips, w, strips[me].H)
+	err := compositeStripInto(out, w, strips[me], mine)
+	for _, p := range recvd {
+		p.Release()
+	}
+	scr.mine, scr.recvd = mine[:0], recvd[:0]
+	return out, strips[me], st, err
 }
 
 // Rect is a projected screen-space bounding rectangle of one block, used to
@@ -160,6 +322,22 @@ func (r Rect) Empty() bool { return r.X1 <= r.X0 || r.Y1 <= r.Y0 }
 type Schedule struct {
 	Strips  []Strip
 	Senders [][]int // Senders[j] = group indices that will message member j
+
+	// sendMask is the per-rank sender bitmap (bit i of row j set iff member
+	// i sends to member j), precomputed by BuildSchedule so the per-frame
+	// "am I scheduled to send?" test is one bit probe instead of a linear
+	// scan of Senders[j].
+	sendMask []uint64
+	maskW    int // words per bitmap row
+}
+
+// sends reports whether member i is scheduled to send to member j. A
+// hand-built Schedule without a bitmap falls back to scanning Senders.
+func (s *Schedule) sends(j, i int) bool {
+	if s.sendMask == nil {
+		return contains(s.Senders[j], i)
+	}
+	return s.sendMask[j*s.maskW+(i>>6)]&(1<<(uint(i)&63)) != 0
 }
 
 // BuildSchedule computes the schedule. rects[i] lists the projected rects
@@ -201,7 +379,13 @@ func BuildSchedule(rects [][]Rect, w, h, n int) *Schedule {
 		}
 		strips[j] = Strip{Y0: y0, H: y - y0}
 	}
-	sched := &Schedule{Strips: strips, Senders: make([][]int, n)}
+	maskW := (n + 63) / 64
+	sched := &Schedule{
+		Strips:   strips,
+		Senders:  make([][]int, n),
+		sendMask: make([]uint64, n*maskW),
+		maskW:    maskW,
+	}
 	for j := 0; j < n; j++ {
 		st := strips[j]
 		for i, rs := range rects {
@@ -214,6 +398,7 @@ func BuildSchedule(rects [][]Rect, w, h, n int) *Schedule {
 				}
 				if r.Y0 < st.Y0+st.H && r.Y1 > st.Y0 {
 					sched.Senders[j] = append(sched.Senders[j], i)
+					sched.sendMask[j*maskW+(i>>6)] |= 1 << (uint(i) & 63)
 					break
 				}
 			}
@@ -227,39 +412,62 @@ func BuildSchedule(rects [][]Rect, w, h, n int) *Schedule {
 // sizes are load-balanced by the precomputed schedule.
 func SLIC(c *mpi.Comm, group []int, me int, sched *Schedule, frags []*render.Fragment,
 	w, h, tagBase int, compress bool) (*img.Image, Strip, Stats, error) {
+	return SLICWith(c, group, me, sched, frags, w, h, tagBase, compress, nil)
+}
 
+// SLICWith is SLIC with a reusable per-rank scratch; see DirectSendWith for
+// the pooling and release contract.
+func SLICWith(c *mpi.Comm, group []int, me int, sched *Schedule, frags []*render.Fragment,
+	w, h, tagBase int, compress bool, scr *CompositeScratch) (*img.Image, Strip, Stats, error) {
+
+	if scr == nil {
+		scr = NewCompositeScratch()
+	}
 	n := len(group)
 	var st Stats
-	var mine []*subFragment
+	mine := scr.mine[:0]
+	recvd := scr.recvd[:0]
 	for j := 0; j < n; j++ {
 		// Am I scheduled to send to j?
-		if j != me && !contains(sched.Senders[j], me) {
+		if j != me && !sched.sends(j, me) {
 			continue
 		}
-		var subs []*subFragment
+		p := &scr.self
+		if j != me {
+			p = getPayload(&scr.payloads)
+		} else {
+			p.reset()
+		}
 		var bytes int64
 		for _, f := range frags {
-			if sf, b := clipFragment(f, sched.Strips[j], compress); sf != nil {
-				subs = append(subs, sf)
-				bytes += b
-			}
+			bytes += clipFragmentInto(p, f, sched.Strips[j], compress)
 		}
 		if j == me {
-			mine = append(mine, subs...)
+			for i := range p.subs {
+				mine = append(mine, &p.subs[i])
+			}
 			continue
 		}
-		c.Send(group[j], tagBase, bytes, subs)
+		c.Send(group[j], tagBase, bytes, p)
 		st.MsgsSent++
 		st.BytesSent += bytes
 	}
 	for _, i := range sched.Senders[me] {
 		msg := c.Recv(group[i], tagBase)
-		if msg.Data != nil {
-			mine = append(mine, msg.Data.([]*subFragment)...)
+		if p, ok := msg.Data.(*wirePayload); ok && p != nil {
+			recvd = append(recvd, p)
+			for k := range p.subs {
+				mine = append(mine, &p.subs[k])
+			}
 		}
 	}
-	outImg, err := compositeStrip(w, sched.Strips[me], mine)
-	return outImg, sched.Strips[me], st, err
+	out := getStrip(&scr.strips, w, sched.Strips[me].H)
+	err := compositeStripInto(out, w, sched.Strips[me], mine)
+	for _, p := range recvd {
+		p.Release()
+	}
+	scr.mine, scr.recvd = mine[:0], recvd[:0]
+	return out, sched.Strips[me], st, err
 }
 
 // BinarySwap is the classic baseline for power-of-two groups. Each member
@@ -269,13 +477,27 @@ func SLIC(c *mpi.Comm, group []int, me int, sched *Schedule, frags []*render.Fra
 // SLIC — BinarySwap is provided for the compositing benchmark.
 func BinarySwap(c *mpi.Comm, group []int, me int, partial *img.Image,
 	w, h, tagBase int) (*img.Image, Strip, Stats, error) {
+	return BinarySwapWith(c, group, me, partial, w, h, tagBase, nil)
+}
+
+// BinarySwapWith is BinarySwap with a reusable per-rank scratch: the two
+// keep images ping-pong between rounds (purely rank-local), and each sent
+// half is a pooled payload the receiving partner releases after blending —
+// partners change every round, so release is the only safe reuse signal.
+// The returned image is scratch-owned and valid until the next call.
+func BinarySwapWith(c *mpi.Comm, group []int, me int, partial *img.Image,
+	w, h, tagBase int, scr *CompositeScratch) (*img.Image, Strip, Stats, error) {
 
 	n := len(group)
 	if n&(n-1) != 0 {
 		return nil, Strip{}, Stats{}, fmt.Errorf("compositor: BinarySwap needs power-of-two group, got %d", n)
 	}
+	if scr == nil {
+		scr = NewCompositeScratch()
+	}
 	var st Stats
-	cur := partial.Clone()
+	cur := ensureImg(&scr.bsCur, partial.W, partial.H)
+	copy(cur.Pix, partial.Pix)
 	y0, hh := 0, h
 	for stride := 1; stride < n; stride <<= 1 {
 		partner := me ^ stride
@@ -290,23 +512,25 @@ func BinarySwap(c *mpi.Comm, group []int, me int, partial *img.Image,
 			sendY, sendH = y0, half
 		}
 		// Slice out the half to ship.
-		send := img.New(w, sendH)
-		copy(send.Pix, cur.Pix[4*(sendY-y0)*w:4*(sendY-y0+sendH)*w])
-		bytes := RawBytes(send)
+		send := getSwap(&scr.bsOut, w, sendH)
+		copy(send.img.Pix, cur.Pix[4*(sendY-y0)*w:4*(sendY-y0+sendH)*w])
+		bytes := RawBytes(&send.img)
 		c.Send(group[partner], tagBase+stride, bytes, send)
 		st.MsgsSent++
 		st.BytesSent += bytes
 		msg := c.Recv(group[partner], tagBase+stride)
-		recv := msg.Data.(*img.Image)
-		keep := img.New(w, keepH)
+		recv := msg.Data.(*swapPayload)
+		keep := ensureImg(&scr.bsKeep[scr.bsSeq&1], w, keepH)
 		copy(keep.Pix, cur.Pix[4*(keepY-y0)*w:4*(keepY-y0+keepH)*w])
 		// Depth order by group index: lower index is in front.
 		if me < partner {
-			keep.Under(recv)
+			keep.Under(&recv.img)
 		} else {
-			keep.Over(recv)
+			keep.Over(&recv.img)
 		}
+		recv.Release()
 		cur, y0, hh = keep, keepY, keepH
+		scr.bsSeq++
 	}
 	return cur, Strip{Y0: y0, H: hh}, st, nil
 }

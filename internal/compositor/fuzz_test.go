@@ -54,6 +54,84 @@ func FuzzRLERoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzCompositeRLEStream: compositing straight from the encoded stream
+// (PR 3) must be bit-exact against decode-then-composite for arbitrary
+// pixel contents and subfragment placement, including off-canvas offsets.
+func FuzzCompositeRLEStream(f *testing.F) {
+	f.Add(4, 4, 0, 0, []byte{})
+	f.Add(3, 5, -2, 1, []byte{0, 0, 0x80, 0x3f, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(6, 2, 4, -1, []byte{0, 0, 0xc0, 0x7f, 0xff, 0xff, 0xff, 0xff}) // NaN bits
+	f.Add(1, 9, 7, 6, []byte{1, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, w, h, x0, y0 int, data []byte) {
+		w, h = w%12, h%12
+		if w <= 0 || h <= 0 {
+			t.Skip()
+		}
+		x0, y0 = x0%16, y0%16
+		m := img.New(w, h)
+		for i := range m.Pix {
+			if 4*i+4 <= len(data) {
+				m.Pix[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+			}
+		}
+		sub := &subFragment{X0: x0, Y0: y0, W: w, H: h, compressed: true, RLE: EncodeRLE(m)}
+		const cw = 10
+		st := Strip{Y0: 2, H: 8}
+		want, err := compositeStripLegacy(cw, st, []*subFragment{sub})
+		if err != nil {
+			t.Fatalf("legacy composite of own encoding failed: %v", err)
+		}
+		got := img.New(cw, st.H)
+		if err := compositeStripInto(got, cw, st, []*subFragment{sub}); err != nil {
+			t.Fatalf("stream composite of own encoding failed: %v", err)
+		}
+		for i := range want.Pix {
+			if math.Float32bits(got.Pix[i]) != math.Float32bits(want.Pix[i]) {
+				t.Fatalf("canvas float %d: got bits %08x, want %08x",
+					i, math.Float32bits(got.Pix[i]), math.Float32bits(want.Pix[i]))
+			}
+		}
+	})
+}
+
+// FuzzCompositeRLEGarbage feeds arbitrary bytes to the stream compositor as
+// an RLE payload: it must accept exactly the streams DecodeRLE accepts
+// (and then match the decode-then-composite result) and reject the rest
+// without panicking or writing out of bounds.
+func FuzzCompositeRLEGarbage(f *testing.F) {
+	f.Add(2, 2, []byte{})
+	f.Add(2, 2, []byte{1, 0, 0, 0, 200, 0, 0, 0}) // run overflows the image
+	f.Add(1, 1, []byte{0, 0, 0, 0, 1, 0, 0, 0, 1, 2, 3})
+	f.Add(3, 3, []byte{255, 255, 255, 255, 1, 0, 0, 0}) // huge skip
+	f.Fuzz(func(t *testing.T, w, h int, data []byte) {
+		w, h = w%16, h%16
+		if w <= 0 || h <= 0 {
+			t.Skip()
+		}
+		sub := &subFragment{X0: 1, Y0: 0, W: w, H: h, compressed: true, RLE: data}
+		st := Strip{Y0: 0, H: h}
+		got := img.New(w+2, st.H)
+		gotErr := compositeStripInto(got, w+2, st, []*subFragment{sub})
+		dec, decErr := DecodeRLE(data, w, h)
+		if (gotErr == nil) != (decErr == nil) {
+			t.Fatalf("stream composite error %v, decoder error %v", gotErr, decErr)
+		}
+		if gotErr != nil {
+			return
+		}
+		rawSub := &subFragment{X0: 1, Y0: 0, W: w, H: h, Raw: dec}
+		want := img.New(w+2, st.H)
+		if err := compositeStripInto(want, w+2, st, []*subFragment{rawSub}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Pix {
+			if math.Float32bits(got.Pix[i]) != math.Float32bits(want.Pix[i]) {
+				t.Fatalf("canvas float %d differs after garbage stream", i)
+			}
+		}
+	})
+}
+
 // FuzzDecodeRLE feeds arbitrary bytes to the decoder, which must reject or
 // decode them without panicking or writing out of bounds.
 func FuzzDecodeRLE(f *testing.F) {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package compositor
+
+const raceEnabled = false

@@ -18,39 +18,79 @@ import (
 // pixels: the stream is a sequence of (skip, count, count*16 bytes of
 // pixels) records walking the image in row-major order.
 func EncodeRLE(m *img.Image) []byte {
-	var out []byte
-	var hdr [8]byte
-	n := m.W * m.H
+	return EncodeRLEInto(nil, m)
+}
+
+// EncodeRLEInto is EncodeRLE appending into dst[:0] — the steady-state
+// path of the compositing loop, which allocates nothing once dst has grown
+// to size. When dst must grow, the stream size is counted first and the
+// buffer is sized exactly, so a frame loop never carries append slack.
+// The encoded bytes are identical to EncodeRLE's.
+func EncodeRLEInto(dst []byte, m *img.Image) []byte {
+	return encodeRLE(dst[:0], m.Pix, m.W*m.H)
+}
+
+// rleSize returns the exact encoded size of the first n pixels of pix.
+func rleSize(pix []float32, n int) int {
+	size := 0
 	i := 0
 	for i < n {
 		skip := 0
-		for i < n && m.Pix[4*i+3] == 0 {
+		for i < n && pix[4*i+3] == 0 {
+			i++
+			skip++
+		}
+		run := 0
+		for i < n && pix[4*i+3] != 0 {
+			i++
+			run++
+		}
+		if skip == 0 && run == 0 {
+			break
+		}
+		size += 8 + 16*run
+	}
+	return size
+}
+
+// encodeRLE appends the RLE stream of the first n pixels of pix to dst
+// (which must be empty), growing dst to exact capacity when needed.
+func encodeRLE(dst []byte, pix []float32, n int) []byte {
+	need := rleSize(pix, n)
+	if cap(dst) < need {
+		dst = make([]byte, 0, need)
+	}
+	dst = dst[:need]
+	pos := 0
+	i := 0
+	for i < n {
+		skip := 0
+		for i < n && pix[4*i+3] == 0 {
 			i++
 			skip++
 		}
 		run := 0
 		j := i
-		for j < n && m.Pix[4*j+3] != 0 {
+		for j < n && pix[4*j+3] != 0 {
 			j++
 			run++
 		}
 		if skip == 0 && run == 0 {
 			break
 		}
-		binary.LittleEndian.PutUint32(hdr[0:], uint32(skip))
-		binary.LittleEndian.PutUint32(hdr[4:], uint32(run))
-		out = append(out, hdr[:]...)
+		binary.LittleEndian.PutUint32(dst[pos:], uint32(skip))
+		binary.LittleEndian.PutUint32(dst[pos+4:], uint32(run))
+		pos += 8
 		for k := i; k < j; k++ {
-			var px [16]byte
-			binary.LittleEndian.PutUint32(px[0:], math.Float32bits(m.Pix[4*k]))
-			binary.LittleEndian.PutUint32(px[4:], math.Float32bits(m.Pix[4*k+1]))
-			binary.LittleEndian.PutUint32(px[8:], math.Float32bits(m.Pix[4*k+2]))
-			binary.LittleEndian.PutUint32(px[12:], math.Float32bits(m.Pix[4*k+3]))
-			out = append(out, px[:]...)
+			binary.LittleEndian.PutUint32(dst[pos:], math.Float32bits(pix[4*k]))
+			binary.LittleEndian.PutUint32(dst[pos+4:], math.Float32bits(pix[4*k+1]))
+			binary.LittleEndian.PutUint32(dst[pos+8:], math.Float32bits(pix[4*k+2]))
+			binary.LittleEndian.PutUint32(dst[pos+12:], math.Float32bits(pix[4*k+3]))
+			pos += 16
 		}
 		i = j
 	}
-	return out
+	return dst
 }
 
 // DecodeRLE reconstructs a w×h image from an EncodeRLE stream.
@@ -67,7 +107,7 @@ func DecodeRLE(data []byte, w, h int) (*img.Image, error) {
 		run := int(binary.LittleEndian.Uint32(data[pos+4:]))
 		pos += 8
 		i += skip
-		if i+run > n || pos+16*run > len(data) {
+		if i < 0 || i+run > n || run < 0 || pos+16*run > len(data) {
 			return nil, fmt.Errorf("compositor: RLE overrun (i=%d run=%d)", i, run)
 		}
 		for k := 0; k < run; k++ {

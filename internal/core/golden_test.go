@@ -89,6 +89,53 @@ func TestGoldenFrameWorkerInvariant(t *testing.T) {
 	}
 }
 
+// TestScratchReuseInvariant extends the worker/layout-invariance claim to
+// PR 3's steady-state reuse paths: with enough timesteps that every pooled
+// buffer (wire payloads, share staging, compositor scratch, strip
+// canvases, LIC state) is on its second or later life, frames must stay
+// bit-identical across layouts, worker counts, compositors and wire
+// compression — and RLE compression itself must not move a single bit.
+func TestScratchReuseInvariant(t *testing.T) {
+	const steps = 4 // >= 2 steps per input rank in every layout below
+	store := buildDataset(t, steps)
+	base := smallOpts(40, 40)
+	base.LIC = true
+	base.LICSize = 32
+	ref, _ := runReal(t, store, Layout{Groups: 1, IPsPerGroup: 1, Renderers: 2, Outputs: 1}, base)
+	for _, tc := range []struct {
+		name string
+		l    Layout
+		mod  func(*Options)
+	}{
+		{"compressed", Layout{Groups: 1, IPsPerGroup: 1, Renderers: 2, Outputs: 1},
+			func(o *Options) { o.Compress = true }},
+		{"directsend", Layout{Groups: 1, IPsPerGroup: 1, Renderers: 2, Outputs: 1},
+			func(o *Options) { o.Compositor = CompositeDirectSend }},
+		{"directsend-compressed", Layout{Groups: 2, IPsPerGroup: 1, Renderers: 3, Outputs: 2},
+			func(o *Options) { o.Compositor = CompositeDirectSend; o.Compress = true }},
+		{"relayout-workers", Layout{Groups: 2, IPsPerGroup: 1, Renderers: 3, Outputs: 2},
+			func(o *Options) { o.Workers = 3 }},
+		{"compressed-relayout", Layout{Groups: 2, IPsPerGroup: 2, Renderers: 2, Outputs: 1},
+			func(o *Options) { o.Compress = true; o.ReadStrategy = ReadCollective }},
+	} {
+		opts := base
+		tc.mod(&opts)
+		got, res := runReal(t, store, tc.l, opts)
+		if res.Frames != steps {
+			t.Fatalf("%s: %d frames, want %d", tc.name, res.Frames, steps)
+		}
+		for step := 0; step < steps; step++ {
+			a, b := ref.Frame(step), got.Frame(step)
+			if a == nil || b == nil {
+				t.Fatalf("%s: missing frame %d", tc.name, step)
+			}
+			if d := img.MaxAbsDiff(a, b); d != 0 {
+				t.Errorf("%s: step %d differs from reference (max abs %g)", tc.name, step, d)
+			}
+		}
+	}
+}
+
 // TestLPTBalanceMatchesSelectionSort: the sort-based longest-processing-
 // time assignment must reach exactly the max load of the legacy O(n^2)
 // selection-sort ordering — the greedy placement only depends on the

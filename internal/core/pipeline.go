@@ -17,6 +17,11 @@ import (
 // PayloadFor, which an input rank may call concurrently for distinct
 // renderers when Pipeline.Workers permits (both in-tree workloads only
 // read shared state there).
+//
+// A workload owns its wire payloads end to end: the pipeline never
+// inspects them, so a workload that pools payload buffers (RealWorkload
+// does) must recycle them in the hooks that consume the messages — Render
+// for the data pieces, Assemble for the strips and the LIC underlay.
 type Workload interface {
 	// Steps returns the number of timesteps to run.
 	Steps() int
@@ -177,6 +182,9 @@ func (p *Pipeline) runInput(c *mpi.Comm) error {
 	part := i % l.IPsPerGroup
 	m := l.IPsPerGroup
 	steps := p.W.Steps()
+	// Per-step payload staging, reused across this rank's timesteps.
+	bytes := make([]int64, l.Renderers)
+	data := make([]any, l.Renderers)
 	for t := g; t < steps; t += l.Groups {
 		t0 := c.Now()
 		fetched, err := p.W.Fetch(c, t, part, m)
@@ -198,8 +206,6 @@ func (p *Pipeline) runInput(c *mpi.Comm) error {
 		t3 := c.Now()
 		// Build every renderer's payload (concurrently when allowed), then
 		// send in renderer order so the message stream is unchanged.
-		bytes := make([]int64, l.Renderers)
-		data := make([]any, l.Renderers)
 		pw := p.Workers
 		if pw <= 0 {
 			// All input ranks share one process under the mock MPI: split
@@ -262,11 +268,16 @@ func (p *Pipeline) runRenderer(c *mpi.Comm) error {
 	r := c.Rank() - l.NumInput()
 	steps := p.W.Steps()
 	group := l.RenderRanks()
+	// Group rank lists, computed once instead of per granted credit.
+	groupRanks := make([][]int, l.Groups)
+	for g := range groupRanks {
+		groupRanks[g] = l.GroupRanks(g)
+	}
 	grant := func(t int) {
 		if t >= steps {
 			return
 		}
-		for _, ip := range l.GroupRanks(t % l.Groups) {
+		for _, ip := range groupRanks[t%l.Groups] {
 			c.Send(ip, tagCredit(t), 1, nil)
 		}
 	}
@@ -279,11 +290,11 @@ func (p *Pipeline) runRenderer(c *mpi.Comm) error {
 	for t := 0; t < depth && t < steps; t++ {
 		grant(t)
 	}
+	pieces := make([]mpi.Message, l.IPsPerGroup)
 	for t := 0; t < steps; t++ {
 		if depth == 0 {
 			grant(t) // no buffering: admit a step only when ready for it
 		}
-		pieces := make([]mpi.Message, l.IPsPerGroup)
 		for k := 0; k < l.IPsPerGroup; k++ {
 			pieces[k] = c.Recv(mpi.AnySource, tagData(t))
 		}
@@ -322,8 +333,8 @@ func (p *Pipeline) runOutput(c *mpi.Comm) error {
 	l := p.Layout
 	o := c.Rank() - l.NumInput() - l.Renderers
 	steps := p.W.Steps()
+	strips := make([]mpi.Message, l.Renderers)
 	for t := o; t < steps; t += l.Outputs {
-		strips := make([]mpi.Message, l.Renderers)
 		for k := 0; k < l.Renderers; k++ {
 			msg := c.Recv(mpi.AnySource, tagStrip(t))
 			strips[msg.Src-l.NumInput()] = msg

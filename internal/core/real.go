@@ -15,6 +15,7 @@ import (
 	"repro/internal/mpiio"
 	"repro/internal/octree"
 	"repro/internal/pfs"
+	"repro/internal/pool"
 	"repro/internal/quadtree"
 	"repro/internal/quake"
 	"repro/internal/render"
@@ -60,6 +61,14 @@ type RealWorkload struct {
 	surfID  []int32
 	surfPos [][3]float64
 
+	// Steady-state reuse (PR 3): rblockPos[bi] is block bi's position in
+	// its owner's rblocks list, and the per-rank scratches below hold every
+	// buffer the per-step path reuses across timesteps (see scratch.go).
+	rblockPos []int
+	ipScr     []*ipScratch       // indexed by input world rank
+	rendScr   []*rendererScratch // indexed by renderer
+	outScr    []*outputScratch   // indexed by output processor
+
 	framesMu sync.Mutex
 	frames   map[int]*img.Image
 }
@@ -91,11 +100,6 @@ type blockVals struct {
 
 type rendered struct {
 	frags []*render.Fragment
-}
-
-type stripPayload struct {
-	Img   *img.Image
-	Strip compositor.Strip
 }
 
 // NewRealWorkload loads the dataset and performs the one-time setup.
@@ -212,6 +216,41 @@ func NewRealWorkload(l Layout, opts Options, store pfs.Store) (*RealWorkload, er
 	for bi := range w.blocks {
 		p := w.owner[bi] % mParts
 		w.ipBlocks[p] = append(w.ipBlocks[p], bi)
+	}
+
+	// Per-rank reuse scratches (PR 3). rblockPos flattens the block->slot
+	// lookup the renderers' value merge uses instead of a per-frame map.
+	w.rblockPos = make([]int, nb)
+	for _, blocks := range w.rblocks {
+		for pos, bi := range blocks {
+			w.rblockPos[bi] = pos
+		}
+	}
+	w.ipScr = make([]*ipScratch, l.NumInput())
+	for i := range w.ipScr {
+		w.ipScr[i] = &ipScratch{}
+	}
+	w.rendScr = make([]*rendererScratch, l.Renderers)
+	for r := range w.rendScr {
+		mine := w.rblocks[r]
+		rs := &rendererScratch{
+			nodeVals: make([][]uint8, len(mine)),
+			corn:     make([][]uint8, len(mine)),
+			got:      make([]bool, len(mine)),
+			bds:      make([]*render.BlockData, len(mine)),
+			vals:     make([][][8]float32, len(mine)),
+			comp:     compositor.NewCompositeScratch(),
+		}
+		for i, bi := range mine {
+			rs.nodeVals[i] = make([]uint8, len(w.blockNodeIDs[bi]))
+			rs.bds[i] = new(render.BlockData)
+			rs.vals[i] = make([][8]float32, len(w.blockCells[bi]))
+		}
+		w.rendScr[r] = rs
+	}
+	w.outScr = make([]*outputScratch, l.Outputs)
+	for o := range w.outScr {
+		w.outScr[o] = &outputScratch{}
 	}
 
 	// Visibility order of block roots for the configured view.
@@ -363,40 +402,47 @@ func (w *RealWorkload) adaptiveFetching() bool {
 }
 
 // readIDs fetches the velocity records of the given sorted node ids from
-// step t and returns their magnitudes quantized (aligned with ids).
-func (w *RealWorkload) readIDs(c *mpi.Comm, t int, ids []int32) ([]uint8, error) {
+// step t and returns their magnitudes quantized (aligned with ids). The
+// displacement and read buffers come from the rank's scratch.
+func (w *RealWorkload) readIDs(c *mpi.Comm, t int, ids []int32, scr *ipScratch) ([]uint8, error) {
 	f, err := mpiio.Open(c, w.store, quake.StepObject(t))
 	if err != nil {
 		return nil, err
 	}
-	displs := make([]int64, len(ids))
+	scr.displs = pool.Grow[int64](scr.displs, len(ids))
 	for i, id := range ids {
-		displs[i] = int64(id)
+		scr.displs[i] = int64(id)
 	}
-	f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: displs, ElemSize: quake.BytesPerNode})
-	raw, err := f.Read()
+	f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: scr.displs, ElemSize: quake.BytesPerNode})
+	size, err := f.ViewSize()
 	if err != nil {
 		return nil, err
 	}
-	return w.magQuant(c, t, ids, raw)
+	scr.raw = pool.Grow[byte](scr.raw, int(size))
+	if _, err := f.ReadInto(scr.raw); err != nil {
+		return nil, err
+	}
+	return w.magQuant(c, t, ids, scr.raw, scr)
 }
 
 // magQuant converts raw node records (aligned with ids) to quantized
 // magnitudes, applying temporal enhancement when enabled.
-func (w *RealWorkload) magQuant(c *mpi.Comm, t int, ids []int32, raw []byte) ([]uint8, error) {
+func (w *RealWorkload) magQuant(c *mpi.Comm, t int, ids []int32, raw []byte, scr *ipScratch) ([]uint8, error) {
 	vec := quake.DecodeStep(raw)
 	mag := render.Magnitude(vec)
 	if w.opts.Enhancement && t > 0 {
-		// Enhancement needs the previous step's values for the same nodes.
+		// Enhancement needs the previous step's values for the same nodes;
+		// the displacements are the same ids, rebuilt in the scratch buffer
+		// (the step-t view has already been read).
 		f, err := mpiio.Open(c, w.store, quake.StepObject(t-1))
 		if err != nil {
 			return nil, err
 		}
-		displs := make([]int64, len(ids))
+		scr.displs = pool.Grow[int64](scr.displs, len(ids))
 		for i, id := range ids {
-			displs[i] = int64(id)
+			scr.displs[i] = int64(id)
 		}
-		f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: displs, ElemSize: quake.BytesPerNode})
+		f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: scr.displs, ElemSize: quake.BytesPerNode})
 		praw, err := f.Read()
 		if err != nil {
 			return nil, err
@@ -407,35 +453,47 @@ func (w *RealWorkload) magQuant(c *mpi.Comm, t int, ids []int32, raw []byte) ([]
 	return render.Quantize(mag, 0, w.vmax), nil
 }
 
-// Fetch implements Workload.
+// Fetch implements Workload. The stepShare — including its full-node
+// quantized staging buffer q — is reused across this rank's timesteps:
+// a share is only read while the step's payloads are built, strictly
+// before this rank's next Fetch, and PayloadFor only reads the q entries
+// of ids fetched this step, so stale entries from earlier steps are never
+// observed.
 func (w *RealWorkload) Fetch(c *mpi.Comm, t, part, m int) (any, error) {
-	share := &stepShare{t: t, part: part, q: make([]uint8, w.meta.NumNodes)}
+	scr := w.ipScr[c.Rank()]
+	share := &scr.share
+	share.t, share.part = t, part
+	share.ids, share.idLo, share.idHi = nil, 0, 0
+	if share.q == nil {
+		share.q = make([]uint8, w.meta.NumNodes)
+	}
 	switch {
 	case w.opts.ReadStrategy == ReadCollective:
 		// The group's m IPs read collectively: part p fetches the merged
 		// node set of the renderers it owns. The collective runs on the
 		// group's sub-communicator.
-		var ids []int32
+		ids := scr.ids[:0]
 		for _, bi := range w.ipBlocks[part] {
 			ids = append(ids, w.blockNodeIDs[bi]...)
 		}
 		ids = dedupSorted(ids)
+		scr.ids = ids
 		g := t % w.layout.Groups
 		sub := c.Sub(w.layout.GroupRanks(g), g)
 		f, err := mpiio.Open(sub, w.store, quake.StepObject(t))
 		if err != nil {
 			return nil, err
 		}
-		displs := make([]int64, len(ids))
+		scr.displs = pool.Grow[int64](scr.displs, len(ids))
 		for i, id := range ids {
-			displs[i] = int64(id)
+			scr.displs[i] = int64(id)
 		}
-		f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: displs, ElemSize: quake.BytesPerNode})
+		f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: scr.displs, ElemSize: quake.BytesPerNode})
 		raw, err := f.ReadAll(t)
 		if err != nil {
 			return nil, err
 		}
-		q, err := w.magQuant(c, t, ids, raw)
+		q, err := w.magQuant(c, t, ids, raw, scr)
 		if err != nil {
 			return nil, err
 		}
@@ -449,7 +507,7 @@ func (w *RealWorkload) Fetch(c *mpi.Comm, t, part, m int) (any, error) {
 		lo := n * part / m
 		hi := n * (part + 1) / m
 		ids := w.allNeeded[lo:hi]
-		q, err := w.readIDs(c, t, ids)
+		q, err := w.readIDs(c, t, ids, scr)
 		if err != nil {
 			return nil, err
 		}
@@ -470,11 +528,8 @@ func (w *RealWorkload) Fetch(c *mpi.Comm, t, part, m int) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		ids := make([]int32, hi-lo)
-		for i := range ids {
-			ids[i] = lo + int32(i)
-		}
-		q, err := w.magQuant(c, t, ids, raw)
+		ids := growIDRange(scr, lo, hi)
+		q, err := w.magQuant(c, t, ids, raw, scr)
 		if err != nil {
 			return nil, err
 		}
@@ -484,6 +539,15 @@ func (w *RealWorkload) Fetch(c *mpi.Comm, t, part, m int) (any, error) {
 		}
 	}
 	return share, nil
+}
+
+// growIDRange stages the contiguous id range [lo, hi) in the scratch.
+func growIDRange(scr *ipScratch, lo, hi int32) []int32 {
+	scr.ids = pool.Grow(scr.ids, int(hi-lo))
+	for i := range scr.ids {
+		scr.ids[i] = lo + int32(i)
+	}
+	return scr.ids
 }
 
 func dedupSorted(ids []int32) []int32 {
@@ -521,35 +585,44 @@ func (s *stepShare) has(id int32) bool {
 	return id >= s.idLo && id < s.idHi
 }
 
-// PayloadFor implements Workload.
+// PayloadFor implements Workload. Payloads are pooled on this rank and
+// released by the consuming renderer once merged, so the per-block value
+// slices (all aliasing one backing buffer per payload) are reused across
+// timesteps with the prefetch window's lifetime respected. The pool is
+// mutex-guarded, so the payload-build worker fan-out stays safe.
 func (w *RealWorkload) PayloadFor(c *mpi.Comm, t int, prep any, renderer int) (int64, any) {
 	share := prep.(*stepShare)
+	p := getData(&w.ipScr[c.Rank()].pool)
+	var bytes int64
 	if w.opts.ReadStrategy == ReadCollective {
-		var out []blockVals
-		var bytes int64
 		for _, bi := range w.rblocks[renderer] {
 			if w.owner[bi]%w.layout.IPsPerGroup != share.part {
 				continue // another IP of the group owns this block
 			}
 			cells := w.blockCorner[bi]
-			vals := make([]uint8, 8*len(cells))
-			for ci, corners := range cells {
-				for k, id := range corners {
-					vals[8*ci+k] = share.q[id]
+			p.voff = append(p.voff, len(p.vals))
+			for _, corners := range cells {
+				for _, id := range corners {
+					p.vals = append(p.vals, share.q[id])
 				}
 			}
-			out = append(out, blockVals{Block: int32(bi), Vals: vals})
-			bytes += int64(len(vals)) + 8
+			p.bvals = append(p.bvals, blockVals{Block: int32(bi)})
+			bytes += int64(8*len(cells)) + 8
+		}
+		for i := range p.bvals {
+			end := len(p.vals)
+			if i+1 < len(p.bvals) {
+				end = p.voff[i+1]
+			}
+			p.bvals[i].Vals = p.vals[p.voff[i]:end]
 		}
 		if bytes == 0 {
 			bytes = 1
 		}
-		return bytes, out
+		return bytes, p
 	}
 	// Independent strategies: ship the runs of each block's node list that
 	// fall inside this share.
-	var out []blockRun
-	var bytes int64
 	for _, bi := range w.rblocks[renderer] {
 		ids := w.blockNodeIDs[bi]
 		lo := 0
@@ -563,44 +636,68 @@ func (w *RealWorkload) PayloadFor(c *mpi.Comm, t int, prep any, renderer int) (i
 		if hi == lo {
 			continue
 		}
-		vals := make([]uint8, hi-lo)
+		p.voff = append(p.voff, len(p.vals))
 		for k := lo; k < hi; k++ {
-			vals[k-lo] = share.q[ids[k]]
+			p.vals = append(p.vals, share.q[ids[k]])
 		}
-		out = append(out, blockRun{Block: int32(bi), Off: int32(lo), Vals: vals})
-		bytes += int64(len(vals)) + 8
+		p.runs = append(p.runs, blockRun{Block: int32(bi), Off: int32(lo)})
+		bytes += int64(hi-lo) + 8
+	}
+	for i := range p.runs {
+		end := len(p.vals)
+		if i+1 < len(p.runs) {
+			end = p.voff[i+1]
+		}
+		p.runs[i].Vals = p.vals[p.voff[i]:end]
 	}
 	if bytes == 0 {
 		bytes = 1
 	}
-	return bytes, out
+	return bytes, p
 }
 
-// LICPayload implements Workload: reads the surface node vectors, builds
-// the quadtree, resamples a regular grid, and computes the LIC image.
+// LICPayload implements Workload: reads the surface node vectors, updates
+// the (persistent) quadtree, resamples a regular grid, and computes the
+// LIC image. The surface-node positions are static, so after the first
+// step the quadtree rebuild reduces to an in-place value update, the
+// noise texture is cached, and every image buffer is reused; the colorized
+// underlay is pooled and released by the output processor.
 func (w *RealWorkload) LICPayload(c *mpi.Comm, t int, prep any) (int64, any, error) {
+	scr := w.ipScr[c.Rank()]
+	ls := &scr.lic
 	f, err := mpiio.Open(c, w.store, quake.StepObject(t))
 	if err != nil {
 		return 0, nil, err
 	}
-	displs := make([]int64, len(w.surfID))
+	scr.displs = pool.Grow[int64](scr.displs, len(w.surfID))
 	for i, id := range w.surfID {
-		displs[i] = int64(id)
+		scr.displs[i] = int64(id)
 	}
-	f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: displs, ElemSize: quake.BytesPerNode})
-	raw, err := f.Read()
+	f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: scr.displs, ElemSize: quake.BytesPerNode})
+	size64, err := f.ViewSize()
 	if err != nil {
 		return 0, nil, err
 	}
-	vec := quake.DecodeStep(raw)
-	samples := make([]quadtree.Sample, len(w.surfID))
+	scr.raw = pool.Grow[byte](scr.raw, int(size64))
+	if _, err := f.ReadInto(scr.raw); err != nil {
+		return 0, nil, err
+	}
+	vec := quake.DecodeStep(scr.raw)
+	if cap(ls.samples) < len(w.surfID) {
+		ls.samples = make([]quadtree.Sample, len(w.surfID))
+	}
+	ls.samples = ls.samples[:len(w.surfID)]
 	for i := range w.surfID {
-		samples[i] = quadtree.Sample{
+		ls.samples[i] = quadtree.Sample{
 			X: w.surfPos[i][0], Y: w.surfPos[i][1],
 			VX: float64(vec[3*i]), VY: float64(vec[3*i+1]),
 		}
 	}
-	qt, err := quadtree.Build(samples, 8)
+	if ls.tree == nil {
+		ls.tree, err = quadtree.Build(ls.samples, 8)
+	} else {
+		err = ls.tree.Rebuild(ls.samples)
+	}
 	if err != nil {
 		return 0, nil, err
 	}
@@ -608,78 +705,93 @@ func (w *RealWorkload) LICPayload(c *mpi.Comm, t int, prep any) (int64, any, err
 	if size < 16 {
 		size = 16
 	}
-	grid, err := qt.Resample(size, size)
+	if err := ls.tree.ResampleInto(&ls.grid, size, size); err != nil {
+		return 0, nil, err
+	}
+	im, err := lic.ComputeWith(&ls.grid, size, size,
+		lic.Config{L: size / 12, Seed: 7, Phase: -1, Workers: w.opts.Workers}, &ls.scr)
 	if err != nil {
 		return 0, nil, err
 	}
-	im, err := lic.Compute(grid, size, size, lic.Config{L: size / 12, Seed: 7, Phase: -1, Workers: w.opts.Workers})
-	if err != nil {
-		return 0, nil, err
-	}
-	rgba := im.Colorize(grid)
-	return compositor.RawBytes(rgba), rgba, nil
+	lp := ls.pool.Get()
+	im.ColorizeInto(&lp.Img, &ls.grid)
+	return compositor.RawBytes(&lp.Img), lp, nil
 }
 
-// Render implements Workload.
+// Render implements Workload. The per-block staging buffers, shallow
+// BlockData copies and their corner-value arrays live in the renderer's
+// scratch (the old per-frame map is a flat rblockPos lookup now); the
+// received payloads are released back to their input ranks' pools as soon
+// as the values are merged — the signal those pools need to reuse the
+// buffers for a later in-flight step.
 func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any, error) {
-	// Merge the pieces into per-block corner values.
-	vals := make(map[int32][]uint8) // block -> node values (independent) or corner values (collective)
+	rs := w.rendScr[r]
+	mine := w.rblocks[r]
+	for i := range rs.got {
+		rs.got[i] = false
+	}
 	if w.opts.ReadStrategy == ReadCollective {
 		for _, p := range pieces {
-			if p.Data == nil {
+			dp, ok := p.Data.(*dataPayload)
+			if !ok || dp == nil {
 				continue
 			}
-			for _, bv := range p.Data.([]blockVals) {
-				vals[bv.Block] = bv.Vals
+			for _, bv := range dp.bvals {
+				pos := w.rblockPos[bv.Block]
+				rs.corn[pos] = bv.Vals
+				rs.got[pos] = true
 			}
 		}
 	} else {
+		// Zero the staging buffers exactly as the old fresh-map path did,
+		// then scatter the runs of every piece into them.
+		for i := range rs.nodeVals {
+			clear(rs.nodeVals[i])
+		}
 		for _, p := range pieces {
-			if p.Data == nil {
+			dp, ok := p.Data.(*dataPayload)
+			if !ok || dp == nil {
 				continue
 			}
-			for _, run := range p.Data.([]blockRun) {
-				buf, ok := vals[run.Block]
-				if !ok {
-					buf = make([]uint8, len(w.blockNodeIDs[run.Block]))
-					vals[run.Block] = buf
-				}
-				copy(buf[run.Off:], run.Vals)
+			for _, run := range dp.runs {
+				pos := w.rblockPos[run.Block]
+				copy(rs.nodeVals[pos][run.Off:], run.Vals)
+				rs.got[pos] = true
 			}
 		}
 	}
-	mine := w.rblocks[r]
-	bds := make([]*render.BlockData, len(mine))
 	for i, bi := range mine {
+		if !rs.got[i] {
+			return nil, fmt.Errorf("core: renderer %d missing block %d at step %d", r, bi, t)
+		}
 		// Shallow-copy the template: Cells and the point-location index are
-		// shared read-only, only the per-frame Vals are fresh.
-		bd := new(render.BlockData)
+		// shared read-only, only the per-frame Vals are (re)written.
+		bd := rs.bds[i]
 		*bd = *w.blockBD[bi]
-		cells := w.blockCells[bi]
-		bd.Vals = make([][8]float32, len(cells))
+		bd.Vals = rs.vals[i]
 		switch w.opts.ReadStrategy {
 		case ReadCollective:
-			bv, ok := vals[int32(bi)]
-			if !ok {
-				return nil, fmt.Errorf("core: renderer %d missing block %d at step %d", r, bi, t)
-			}
-			for ci := range cells {
+			bv := rs.corn[i]
+			for ci := range bd.Vals {
 				for k := 0; k < 8; k++ {
 					bd.Vals[ci][k] = float32(bv[8*ci+k]) / 255
 				}
 			}
 		default:
-			nv, ok := vals[int32(bi)]
-			if !ok {
-				return nil, fmt.Errorf("core: renderer %d missing block %d at step %d", r, bi, t)
-			}
+			nv := rs.nodeVals[i]
 			for ci, local := range w.blockCornerLocal[bi] {
 				for k := 0; k < 8; k++ {
 					bd.Vals[ci][k] = float32(nv[local[k]]) / 255
 				}
 			}
 		}
-		bds[i] = bd
+		rs.corn[i] = nil
+	}
+	// Values are merged; hand the wire payloads back to their senders.
+	for _, p := range pieces {
+		if dp, ok := p.Data.(*dataPayload); ok {
+			dp.release()
+		}
 	}
 	// Fan the ray casting out across this rank's worker pool (block- and
 	// tile-parallel; pixel-identical to the serial path). All renderer
@@ -693,9 +805,10 @@ func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any,
 			workers = 1
 		}
 	}
-	out := &rendered{}
+	out := &rs.out
+	out.frags = out.frags[:0]
 	view := w.opts.View
-	frags := w.rend.RenderBlocks(bds, &view, workers)
+	frags := w.rend.RenderBlocks(rs.bds, &view, workers)
 	for i, frag := range frags {
 		if frag != nil {
 			frag.VisRank = w.visRank[mine[i]]
@@ -705,41 +818,53 @@ func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any,
 	return out, nil
 }
 
-// Composite implements Workload.
+// Composite implements Workload: sort-last compositing through the
+// renderer's persistent CompositeScratch (pooled wire payloads, reused
+// clip/RLE buffers, pooled strip canvases), after which the rendered
+// fragments' pixel buffers go back to the frame pool — everything they
+// held has been copied or encoded onto the wire.
 func (w *RealWorkload) Composite(c *mpi.Comm, t, r int, group []int, rnd any) (int64, any, error) {
 	frags := rnd.(*rendered).frags
+	rs := w.rendScr[r]
 	var im *img.Image
 	var st compositor.Strip
 	var err error
 	switch w.opts.Compositor {
 	case CompositeDirectSend:
-		im, st, _, err = compositor.DirectSend(c, group, r, frags, w.opts.Width, w.opts.Height, tagComposite(t), w.opts.Compress)
+		im, st, _, err = compositor.DirectSendWith(c, group, r, frags, w.opts.Width, w.opts.Height, tagComposite(t), w.opts.Compress, rs.comp)
 	default:
-		im, st, _, err = compositor.SLIC(c, group, r, w.sched, frags, w.opts.Width, w.opts.Height, tagComposite(t), w.opts.Compress)
+		im, st, _, err = compositor.SLICWith(c, group, r, w.sched, frags, w.opts.Width, w.opts.Height, tagComposite(t), w.opts.Compress, rs.comp)
 	}
 	if err != nil {
 		return 0, nil, err
 	}
-	return compositor.RawBytes(im), stripPayload{Img: im, Strip: st}, nil
+	render.ReleaseFragments(frags)
+	sp := rs.strips.Get()
+	sp.Img, sp.Strip, sp.comp = im, st, rs.comp
+	return compositor.RawBytes(im), sp, nil
 }
 
 // Assemble implements Workload: paste strips, put the LIC surface image
-// underneath, and store the frame.
+// underneath, and store the frame. Strip and LIC payloads are released
+// once consumed, returning their buffers to the sending ranks' pools; the
+// assembled frame itself is the product and stays a per-step allocation.
 func (w *RealWorkload) Assemble(c *mpi.Comm, t int, strips []mpi.Message, licMsg *mpi.Message) error {
+	os := w.outScr[c.Rank()-w.layout.NumInput()-w.layout.Renderers]
 	frame := img.New(w.opts.Width, w.opts.Height)
 	for _, s := range strips {
-		sp, ok := s.Data.(stripPayload)
+		sp, ok := s.Data.(*stripPayload)
 		if !ok {
 			return fmt.Errorf("core: output got unexpected strip payload %T", s.Data)
 		}
-		if sp.Strip.H == 0 {
-			continue
+		if sp.Strip.H > 0 {
+			copy(frame.Pix[4*sp.Strip.Y0*w.opts.Width:4*(sp.Strip.Y0+sp.Strip.H)*w.opts.Width], sp.Img.Pix)
 		}
-		copy(frame.Pix[4*sp.Strip.Y0*w.opts.Width:4*(sp.Strip.Y0+sp.Strip.H)*w.opts.Width], sp.Img.Pix)
+		sp.release()
 	}
 	if licMsg != nil && licMsg.Data != nil {
-		surf := licMsg.Data.(*img.Image)
-		frame.Under(stretch(surf, w.opts.Width, w.opts.Height))
+		lp := licMsg.Data.(*licPayload)
+		frame.Under(stretchInto(&os.stretch, &lp.Img, w.opts.Width, w.opts.Height))
+		lp.release()
 	}
 	w.framesMu.Lock()
 	w.frames[t] = frame
@@ -747,9 +872,15 @@ func (w *RealWorkload) Assemble(c *mpi.Comm, t int, strips []mpi.Message, licMsg
 	return nil
 }
 
-// stretch nearest-neighbor scales an image (LIC underlay).
-func stretch(src *img.Image, w, h int) *img.Image {
-	out := img.New(w, h)
+// stretchInto nearest-neighbor scales an image (LIC underlay) into a
+// reused target.
+func stretchInto(out *img.Image, src *img.Image, w, h int) *img.Image {
+	n := 4 * w * h
+	if cap(out.Pix) < n {
+		out.Pix = make([]float32, n)
+	}
+	out.Pix = out.Pix[:n]
+	out.W, out.H = w, h
 	for y := 0; y < h; y++ {
 		sy := y * src.H / h
 		for x := 0; x < w; x++ {

@@ -1,0 +1,138 @@
+package core
+
+// PR 3's steady-state reuse layer for the real workload: every wire
+// payload the pipeline ships (per-renderer data pieces, composited strips,
+// the surface-LIC underlay) is a pooled, typed struct with an explicit
+// release by its consumer, and every rank keeps a scratch whose staging
+// buffers are reused across its timesteps. Consumer release is the
+// lifetime tracking the prefetch window needs: a buffer returns to its
+// sender's pool only after the in-flight step that references it has been
+// fully consumed, so the pool depth converges to the pipeline depth and
+// then the whole per-step path stops allocating. Cost-model runs ship nil
+// payloads and never touch any of this.
+
+import (
+	"repro/internal/compositor"
+	"repro/internal/img"
+	"repro/internal/lic"
+	"repro/internal/pool"
+	"repro/internal/quadtree"
+	"repro/internal/render"
+)
+
+// dataPayload is the pooled wire form of one (input rank -> renderer,
+// timestep) data message: block runs (independent reads) or corner-value
+// blocks (collective reads) whose value slices all alias one backing
+// buffer. The receiving renderer must release it after merging the values,
+// returning it to the sending rank's pool (mutex-guarded, so the payload-
+// build worker fan-out and the remote release stay safe).
+type dataPayload struct {
+	runs  []blockRun
+	bvals []blockVals
+	vals  []uint8 // backing store aliased by the run/bval value slices
+	voff  []int   // build-time scratch: per-entry start offsets into vals
+	owner *pool.Pool[dataPayload]
+}
+
+func (p *dataPayload) release() {
+	if p != nil && p.owner != nil {
+		p.owner.Put(p)
+	}
+}
+
+// getData takes a reset data payload from the pool.
+func getData(pl *pool.Pool[dataPayload]) *dataPayload {
+	p := pl.Get()
+	p.owner = pl
+	p.runs = p.runs[:0]
+	p.bvals = p.bvals[:0]
+	p.vals = p.vals[:0]
+	p.voff = p.voff[:0]
+	return p
+}
+
+// stripPayload is the pooled wire form of one composited strip. Img is
+// owned by the sending renderer's CompositeScratch; the output processor
+// releases the payload after pasting, which returns the canvas to that
+// scratch and the struct to the renderer's pool.
+type stripPayload struct {
+	Img   *img.Image
+	Strip compositor.Strip
+	comp  *compositor.CompositeScratch // canvas owner; nil for unpooled strips
+	owner *pool.Pool[stripPayload]
+}
+
+func (sp *stripPayload) release() {
+	if sp == nil {
+		return
+	}
+	if sp.comp != nil {
+		sp.comp.ReleaseStrip(sp.Img)
+	}
+	sp.Img, sp.comp = nil, nil
+	if sp.owner != nil {
+		sp.owner.Put(sp)
+	}
+}
+
+// licPayload is the pooled wire form of the surface-LIC underlay image,
+// released by the output processor after compositing it under the frame.
+type licPayload struct {
+	Img   img.Image
+	owner *pool.Pool[licPayload]
+}
+
+func (lp *licPayload) release() {
+	if lp != nil && lp.owner != nil {
+		lp.owner.Put(lp)
+	}
+}
+
+// licState is the per-rank surface-LIC pipeline state: the quadtree is
+// built once and only its sample values change per step (the scattered
+// surface-node positions are static), the resample grid, noise texture and
+// output images are reused, and the colorized RGBA underlay is pooled with
+// release by the output processor.
+type licState struct {
+	samples []quadtree.Sample
+	tree    *quadtree.Tree
+	grid    quadtree.Grid
+	scr     lic.Scratch
+	pool    pool.Pool[licPayload]
+}
+
+// ipScratch is one input rank's reusable staging. The stepShare (with its
+// full-node quantized buffer) is reused across this rank's timesteps —
+// safe because a share is only read while its step's payloads are built,
+// strictly before the same rank's next Fetch. The id/displacement/read
+// buffers serve whichever read strategy runs, and the payload pool cycles
+// the wire messages released by the renderers.
+type ipScratch struct {
+	share  stepShare
+	ids    []int32 // collective merged-id / contiguous-range staging
+	displs []int64
+	raw    []byte // indexed-read staging
+	pool   pool.Pool[dataPayload]
+	lic    licState
+}
+
+// rendererScratch is one renderer's reusable staging: per-local-block
+// value buffers, the shallow BlockData copies and their corner-value
+// arrays, the fragment list, the compositing scratch and the strip-payload
+// pool.
+type rendererScratch struct {
+	nodeVals [][]uint8 // per local block: staged node values (independent reads)
+	corn     [][]uint8 // per local block: corner values (collective reads)
+	got      []bool    // per local block: appeared in some piece this step
+	bds      []*render.BlockData
+	vals     [][][8]float32 // per local block: reused BlockData.Vals backing
+	out      rendered
+	comp     *compositor.CompositeScratch
+	strips   pool.Pool[stripPayload]
+}
+
+// outputScratch is one output rank's reusable staging (the LIC stretch
+// target; assembled frames are the product and stay per-step allocations).
+type outputScratch struct {
+	stretch img.Image
+}

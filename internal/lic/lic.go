@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"repro/internal/img"
+	"repro/internal/pool"
 	"repro/internal/quadtree"
 )
 
@@ -32,8 +33,40 @@ type Config struct {
 	Workers int
 }
 
+// Scratch holds the cross-frame buffers of an animation loop: the
+// white-noise input texture (regenerated only when the size or seed
+// changes — the pipeline reuses one seed, so at steady state it is
+// computed once) and the output image. A scratch serves one frame at a
+// time; the image ComputeWith returns points into it and is valid until
+// the next call.
+type Scratch struct {
+	noise     Image
+	noiseSeed int64
+	noiseOK   bool
+	out       Image
+}
+
+// noiseFor returns the cached noise texture, regenerating it on a size or
+// seed change.
+func (s *Scratch) noiseFor(w, h int, seed int64) *Image {
+	if !s.noiseOK || s.noise.W != w || s.noise.H != h || s.noiseSeed != seed {
+		WhiteNoiseInto(&s.noise, w, h, seed)
+		s.noiseSeed, s.noiseOK = seed, true
+	}
+	return &s.noise
+}
+
 // Compute returns a w×h grayscale LIC image of the vector field.
 func Compute(field *quadtree.Grid, w, h int, cfg Config) (*Image, error) {
+	return ComputeWith(field, w, h, cfg, nil)
+}
+
+// ComputeWith is Compute with a reusable scratch: the noise texture and
+// output image come from scr, so a steady-state frame loop with Workers: 1
+// allocates nothing (the worker fan-out of the parallel path costs a few
+// goroutine allocations per frame either way). A nil scr allocates fresh
+// buffers, identical to Compute. Output is bit-identical for any scr.
+func ComputeWith(field *quadtree.Grid, w, h int, cfg Config, scr *Scratch) (*Image, error) {
 	if w <= 0 || h <= 0 {
 		return nil, fmt.Errorf("lic: invalid size %dx%d", w, h)
 	}
@@ -43,8 +76,16 @@ func Compute(field *quadtree.Grid, w, h int, cfg Config) (*Image, error) {
 	if cfg.StepSize <= 0 {
 		cfg.StepSize = 0.5
 	}
-	noise := WhiteNoise(w, h, cfg.Seed)
-	out := &Image{W: w, H: h, Pix: make([]float32, w*h)}
+	var noise, out *Image
+	if scr != nil {
+		noise = scr.noiseFor(w, h, cfg.Seed)
+		out = &scr.out
+		out.W, out.H = w, h
+		out.Pix = pool.Grow(out.Pix, w*h)
+	} else {
+		noise = WhiteNoise(w, h, cfg.Seed)
+		out = &Image{W: w, H: h, Pix: make([]float32, w*h)}
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -56,6 +97,15 @@ func Compute(field *quadtree.Grid, w, h int, cfg Config) (*Image, error) {
 		convolveRows(field, noise, out, 0, h, cfg)
 		return out, nil
 	}
+	convolveParallel(field, noise, out, h, workers, cfg)
+	return out, nil
+}
+
+// convolveParallel fans the convolution out over row bands. Kept out of
+// ComputeWith so the goroutine closure does not force the serial path's
+// arguments to the heap (the steady-state Workers: 1 loop is
+// allocation-free).
+func convolveParallel(field *quadtree.Grid, noise *Image, out *Image, h, workers int, cfg Config) {
 	band := (h + workers - 1) / workers
 	var wg sync.WaitGroup
 	for lo := 0; lo < h; lo += band {
@@ -70,7 +120,6 @@ func Compute(field *quadtree.Grid, w, h int, cfg Config) (*Image, error) {
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out, nil
 }
 
 // convolveRows fills rows [yLo, yHi) of out; field and noise are only read.
@@ -107,12 +156,20 @@ func (m *Image) At(x, y int) float64 {
 
 // WhiteNoise returns a reproducible w×h white-noise texture in [0,1].
 func WhiteNoise(w, h int, seed int64) *Image {
+	m := &Image{}
+	WhiteNoiseInto(m, w, h, seed)
+	return m
+}
+
+// WhiteNoiseInto fills an existing image with the texture WhiteNoise
+// produces, reusing its pixel buffer.
+func WhiteNoiseInto(m *Image, w, h int, seed int64) {
 	rng := rand.New(rand.NewSource(seed))
-	m := &Image{W: w, H: h, Pix: make([]float32, w*h)}
+	m.W, m.H = w, h
+	m.Pix = pool.Grow(m.Pix, w*h)
 	for i := range m.Pix {
 		m.Pix[i] = rng.Float32()
 	}
-	return m
 }
 
 // vecAt samples the field at pixel coordinates.
@@ -172,7 +229,18 @@ func convolve(field *quadtree.Grid, noise *Image, x, y int, cfg Config) float64 
 // magnitude field (brighter where motion is stronger) for compositing with
 // the volume rendering at the output processors.
 func (m *Image) Colorize(mag *quadtree.Grid) *img.Image {
-	out := img.New(m.W, m.H)
+	return m.ColorizeInto(img.New(m.W, m.H), mag)
+}
+
+// ColorizeInto is Colorize writing into an existing RGBA image, reusing its
+// pixel buffer (resized as needed; every pixel is overwritten).
+func (m *Image) ColorizeInto(out *img.Image, mag *quadtree.Grid) *img.Image {
+	n := 4 * m.W * m.H
+	if cap(out.Pix) < n {
+		out.Pix = make([]float32, n)
+	}
+	out.Pix = out.Pix[:n]
+	out.W, out.H = m.W, m.H
 	var maxMag float64
 	if mag != nil {
 		for _, v := range mag.VX {

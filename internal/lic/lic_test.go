@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/img"
 	"repro/internal/quadtree"
 )
 
@@ -190,4 +191,174 @@ func TestColorize(t *testing.T) {
 	if a != 1 {
 		t.Errorf("unmodulated alpha = %v", a)
 	}
+}
+
+// --- PR 3: scratch reuse ----------------------------------------------------
+
+// TestComputeWithScratchMatches: frames through a reused scratch must be
+// bit-identical to fresh Compute calls, including when the size or seed
+// changes mid-loop (noise regeneration) and across changing fields.
+func TestComputeWithScratchMatches(t *testing.T) {
+	var scr Scratch
+	cases := []struct {
+		w, h int
+		seed int64
+		rot  bool
+	}{
+		{32, 32, 1, false},
+		{32, 32, 1, true},  // same noise, new field
+		{32, 32, 9, true},  // seed change
+		{48, 24, 9, false}, // size change
+		{32, 32, 1, false}, // back to the first shape
+	}
+	for i, tc := range cases {
+		field := uniformField(tc.w, tc.h, 1, 0.3)
+		if tc.rot {
+			field = circularField(tc.w, tc.h)
+		}
+		cfg := Config{L: 8, Seed: tc.seed, Phase: -1}
+		want, err := Compute(field, tc.w, tc.h, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ComputeWith(field, tc.w, tc.h, cfg, &scr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.W != got.W || want.H != got.H {
+			t.Fatalf("case %d: size mismatch", i)
+		}
+		for p := range want.Pix {
+			if want.Pix[p] != got.Pix[p] {
+				t.Fatalf("case %d: pixel %d differs: %v vs %v", i, p, got.Pix[p], want.Pix[p])
+			}
+		}
+	}
+}
+
+// TestColorizeIntoMatches: the reusing variant must reproduce Colorize
+// exactly, including after a size change.
+func TestColorizeIntoMatches(t *testing.T) {
+	var dst img.Image
+	for _, wh := range [][2]int{{24, 16}, {16, 24}, {24, 16}} {
+		field := circularField(wh[0], wh[1])
+		m, err := Compute(field, wh[0], wh[1], Config{L: 6, Seed: 3, Phase: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.Colorize(field)
+		got := m.ColorizeInto(&dst, field)
+		if want.W != got.W || want.H != got.H {
+			t.Fatal("size mismatch")
+		}
+		for p := range want.Pix {
+			if want.Pix[p] != got.Pix[p] {
+				t.Fatalf("pixel %d differs", p)
+			}
+		}
+	}
+}
+
+// licStepBench assembles the full per-timestep surface-LIC pipeline the
+// input processors run: update the quadtree's sample values, resample the
+// regular grid, convolve, colorize.
+func licStepSetup(tb testing.TB, n, size int) ([]quadtree.Sample, *quadtree.Tree) {
+	tb.Helper()
+	samples := make([]quadtree.Sample, n)
+	for i := range samples {
+		samples[i] = quadtree.Sample{
+			X: float64(i%37) / 36.0, Y: float64((i*13)%41) / 40.0,
+			VX: float64(i%7) - 3, VY: float64(i%5) - 2,
+		}
+	}
+	tree, err := quadtree.Build(samples, 8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return samples, tree
+}
+
+// TestLICStepAllocFree is the PR 3 acceptance gate for the surface-LIC
+// step: at steady state, value update + quadtree reuse + resample +
+// convolution + colorize allocate nothing (serial convolution; the worker
+// fan-out allocates its goroutines and is exercised elsewhere).
+func TestLICStepAllocFree(t *testing.T) {
+	const size = 32
+	samples, tree := licStepSetup(t, 300, size)
+	var grid quadtree.Grid
+	var scr Scratch
+	var rgba img.Image
+	step := 0
+	licStep := func() {
+		step++
+		for i := range samples {
+			samples[i].VX = float64((step + i) % 11)
+			samples[i].VY = float64((step * i) % 7)
+		}
+		if err := tree.Rebuild(samples); err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.ResampleInto(&grid, size, size); err != nil {
+			t.Fatal(err)
+		}
+		im, err := ComputeWith(&grid, size, size, Config{L: size / 12, Seed: 7, Phase: -1, Workers: 1}, &scr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		im.ColorizeInto(&rgba, &grid)
+	}
+	licStep() // warm every buffer
+	if avg := testing.AllocsPerRun(15, licStep); avg != 0 {
+		t.Errorf("steady-state LIC step allocates %v, want 0", avg)
+	}
+}
+
+// BenchmarkLICStep measures one full surface-LIC timestep (128-node
+// scatter, 64x64 grid): `scratch` is the steady-state PR 3 path (reused
+// tree, grid, noise, output, RGBA), `fresh` rebuilds and reallocates
+// everything as the pre-PR-3 pipeline did.
+func BenchmarkLICStep(b *testing.B) {
+	const size = 64
+	samples, tree := licStepSetup(b, 500, size)
+	cfg := Config{L: size / 12, Seed: 7, Phase: -1, Workers: 1}
+	b.Run("scratch", func(b *testing.B) {
+		var grid quadtree.Grid
+		var scr Scratch
+		var rgba img.Image
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			samples[0].VX = float64(i)
+			if err := tree.Rebuild(samples); err != nil {
+				b.Fatal(err)
+			}
+			if err := tree.ResampleInto(&grid, size, size); err != nil {
+				b.Fatal(err)
+			}
+			im, err := ComputeWith(&grid, size, size, cfg, &scr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			im.ColorizeInto(&rgba, &grid)
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			samples[0].VX = float64(i)
+			fresh, err := quadtree.Build(samples, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			grid, err := fresh.Resample(size, size)
+			if err != nil {
+				b.Fatal(err)
+			}
+			im, err := Compute(grid, size, size, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			im.Colorize(grid)
+		}
+	})
 }

@@ -198,31 +198,38 @@ func (c *Comm) Bcast(root int, bytes int64, data any) any {
 // Reduce combines each rank's (bytes, data) with op, leaving the result on
 // root (binomial tree). op must be associative; nil inputs are passed
 // through to op as-is in cost-model runs (op may ignore them).
+//
+// Contract: bytes models the size of the *reduced value*, not just this
+// rank's contribution — reductions are size-preserving (elementwise), so
+// every internal tree message carries exactly the sender's declared bytes,
+// and all ranks must pass the same value for the volume model to be
+// meaningful. (Before PR 3 each hop forwarded the maximum payload size seen
+// in its subtree, which mismodels reduction volume: a partially reduced
+// subtree is one reduced value, not its largest input.)
 func (c *Comm) Reduce(root int, bytes int64, data any, op func(a, b any) any) any {
 	c.checkPeer(root, "Reduce")
 	tag := c.nextCollTag()
 	vr := (c.rank - root + c.size) % c.size
 	acc := data
-	accBytes := bytes
 	for k := 1; k < c.size; k <<= 1 {
 		if vr&k != 0 {
 			parent := vr - k
-			c.Send((parent+root)%c.size, tag, accBytes, acc)
+			c.Send((parent+root)%c.size, tag, bytes, acc)
 			return nil
 		}
 		child := vr + k
 		if child < c.size {
 			m := c.Recv((child+root)%c.size, tag)
 			acc = op(acc, m.Data)
-			if m.Bytes > accBytes {
-				accBytes = m.Bytes
-			}
 		}
 	}
 	return acc
 }
 
-// Allreduce is Reduce to rank 0 followed by Bcast.
+// Allreduce is Reduce to rank 0 followed by Bcast. bytes follows the
+// Reduce contract (the reduced value's size, identical on every rank); it
+// models both the reduction tree's messages and the broadcast of the
+// result.
 func (c *Comm) Allreduce(bytes int64, data any, op func(a, b any) any) any {
 	v := c.Reduce(0, bytes, data, op)
 	return c.Bcast(0, bytes, v)

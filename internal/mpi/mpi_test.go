@@ -151,6 +151,46 @@ func TestReduceSum(t *testing.T) {
 	}
 }
 
+// TestReduceModelsReducedPayloadSize: every internal tree message must
+// carry exactly the sender's declared reduced-value size — the PR 3 fix for
+// the old max-of-children forwarding, which inflated hops above a large
+// child (observable when a caller violates the equal-bytes contract, and
+// wrong in principle: a partially reduced subtree is one reduced value).
+func TestReduceModelsReducedPayloadSize(t *testing.T) {
+	// Uniform declarations: total reduction volume is (n-1) messages of
+	// exactly `bytes` each, and every non-root rank sends exactly once.
+	for _, n := range []int{2, 3, 5, 8} {
+		_, comms := RunSimStats(n, testCfg(), func(c *Comm) {
+			c.Reduce(0, 100, c.Rank(), func(a, b any) any { return a.(int) + b.(int) })
+		})
+		var total int64
+		for r, cm := range comms {
+			total += cm.BytesSent
+			if r != 0 && (cm.MsgsSent != 1 || cm.BytesSent != 100) {
+				t.Errorf("n=%d rank %d: sent %d msgs / %d bytes, want 1 / 100", n, r, cm.MsgsSent, cm.BytesSent)
+			}
+		}
+		if want := int64(100 * (n - 1)); total != want {
+			t.Errorf("n=%d: reduction volume %d bytes, want %d", n, total, want)
+		}
+	}
+	// Heterogeneous declarations (contract violation): each sender still
+	// ships its own declared size, never the max of its subtree — rank 1's
+	// huge payload must not inflate what ranks 2..n-1 forward.
+	_, comms := RunSimStats(4, testCfg(), func(c *Comm) {
+		bytes := int64(10)
+		if c.Rank() == 1 {
+			bytes = 1000
+		}
+		c.Reduce(0, bytes, c.Rank(), func(a, b any) any { return a.(int) + b.(int) })
+	})
+	for r, want := range []int64{0, 1000, 10, 10} {
+		if comms[r].BytesSent != want {
+			t.Errorf("heterogeneous: rank %d sent %d bytes, want %d", r, comms[r].BytesSent, want)
+		}
+	}
+}
+
 func TestAllreduceMax(t *testing.T) {
 	runBoth(t, 6, func(c *Comm) {
 		v := c.Allreduce(8, c.Rank(), func(a, b any) any {

@@ -69,9 +69,9 @@ func checkCoalesced(t *testing.T, in, out []Segment, sizeBound int64) {
 
 func FuzzCoalesce(f *testing.F) {
 	f.Add([]byte{})
-	f.Add([]byte{0, 0, 4, 0, 4, 0, 4, 0})             // adjacent runs
+	f.Add([]byte{0, 0, 4, 0, 4, 0, 4, 0})               // adjacent runs
 	f.Add([]byte{10, 0, 8, 0, 12, 0, 2, 0, 0, 0, 1, 0}) // overlap + disjoint
-	f.Add([]byte{5, 0, 0, 0, 5, 0, 3, 0})             // empty then real at same offset
+	f.Add([]byte{5, 0, 0, 0, 5, 0, 3, 0})               // empty then real at same offset
 	f.Fuzz(func(t *testing.T, data []byte) {
 		segs := decodeSegs(data)
 		in := append([]Segment(nil), segs...)
@@ -82,9 +82,9 @@ func FuzzCoalesce(f *testing.F) {
 
 func FuzzIndexedBlockSegments(f *testing.F) {
 	f.Add(1, 1, []byte{})
-	f.Add(3, 8, []byte{7, 0, 3, 0, 7, 0})    // duplicate displacements
-	f.Add(16, 4, []byte{0, 0, 16, 0, 8, 0})  // adjacent + overlapping blocks
-	f.Add(0, 4, []byte{1, 0})                // degenerate blocklen
+	f.Add(3, 8, []byte{7, 0, 3, 0, 7, 0})   // duplicate displacements
+	f.Add(16, 4, []byte{0, 0, 16, 0, 8, 0}) // adjacent + overlapping blocks
+	f.Add(0, 4, []byte{1, 0})               // degenerate blocklen
 	f.Fuzz(func(t *testing.T, blocklen, elemSize int, data []byte) {
 		blocklen %= 32
 		elemSize %= 16

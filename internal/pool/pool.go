@@ -1,0 +1,49 @@
+// Package pool provides the tiny mutex-guarded free list the steady-state
+// reuse layers share. Unlike sync.Pool, objects are only reclaimed by an
+// explicit Put from whichever rank consumed them — that release is the
+// lifetime signal in-flight pipeline steps need, and it keeps the
+// AllocsPerRun gates deterministic (sync.Pool's GC-driven eviction would
+// reintroduce steady-state allocations).
+package pool
+
+import "sync"
+
+// Pool is a mutex-guarded free list of *T. Get may be restricted to the
+// owning rank by the caller's protocol; Put is safe from any goroutine.
+type Pool[T any] struct {
+	mu   sync.Mutex
+	free []*T
+}
+
+// Get pops a pooled object, or allocates a zero T when the free list is
+// empty. Any per-use reset or sizing is the caller's job.
+func (p *Pool[T]) Get() *T {
+	p.mu.Lock()
+	var x *T
+	if n := len(p.free); n > 0 {
+		x = p.free[n-1]
+		p.free = p.free[:n-1]
+	}
+	p.mu.Unlock()
+	if x == nil {
+		x = new(T)
+	}
+	return x
+}
+
+// Put returns an object to the free list. The object must not be touched
+// by its previous user afterwards.
+func (p *Pool[T]) Put(x *T) {
+	p.mu.Lock()
+	p.free = append(p.free, x)
+	p.mu.Unlock()
+}
+
+// Grow resizes s to n elements, allocating only on growth. Existing
+// contents beyond what the caller rewrites are unspecified.
+func Grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}

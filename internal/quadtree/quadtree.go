@@ -7,6 +7,8 @@ package quadtree
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/pool"
 )
 
 // Sample is one scattered data point: a position in the unit square and a
@@ -25,12 +27,27 @@ type node struct {
 	used         bool
 }
 
-// Tree is a point-region quadtree over the unit square.
+// Tree is a point-region quadtree over the unit square. The node storage
+// is arena-backed so Rebuild can re-insert a new timestep's samples without
+// reallocating the structure (see Rebuild/UpdateValues).
 type Tree struct {
 	samples []Sample
 	root    node
 	leafCap int
 	maxDep  int
+
+	// arena holds every child block ever allocated by this tree; arenaUsed
+	// is the rebuild cursor, so re-inserting reuses the blocks (and their
+	// leaves' sample-index slices) in allocation order.
+	arena     []*[4]node
+	arenaUsed int
+
+	// posX/posY snapshot the sample positions at (re)build time, so the
+	// moved-sample checks in UpdateValues and Rebuild stay meaningful even
+	// when the caller mutates and passes back the tree-owned slice (the
+	// pipeline's pattern — comparing samples against themselves would be
+	// vacuous).
+	posX, posY []float64
 }
 
 // Build constructs the quadtree. leafCap bounds samples per leaf (default
@@ -39,17 +56,91 @@ func Build(samples []Sample, leafCap int) (*Tree, error) {
 	if leafCap <= 0 {
 		leafCap = 8
 	}
+	t := &Tree{leafCap: leafCap, maxDep: 24}
+	if err := t.rebuild(samples); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// rebuild validates and re-inserts samples, reusing arena node blocks.
+func (t *Tree) rebuild(samples []Sample) error {
 	for i, s := range samples {
 		if s.X < 0 || s.X > 1 || s.Y < 0 || s.Y > 1 || math.IsNaN(s.X) || math.IsNaN(s.Y) {
-			return nil, fmt.Errorf("quadtree: sample %d at (%v,%v) outside unit square", i, s.X, s.Y)
+			return fmt.Errorf("quadtree: sample %d at (%v,%v) outside unit square", i, s.X, s.Y)
 		}
 	}
-	t := &Tree{samples: samples, leafCap: leafCap, maxDep: 24}
-	t.root = node{x0: 0, y0: 0, size: 1, used: true}
+	t.samples = samples
+	t.posX = pool.Grow(t.posX, len(samples))
+	t.posY = pool.Grow(t.posY, len(samples))
+	for i := range samples {
+		t.posX[i], t.posY[i] = samples[i].X, samples[i].Y
+	}
+	t.arenaUsed = 0
+	t.root = node{x0: 0, y0: 0, size: 1, used: true, samples: t.root.samples[:0]}
 	for i := range samples {
 		t.insert(&t.root, i, 0)
 	}
-	return t, nil
+	return nil
+}
+
+// UpdateValues replaces the per-sample vector values in place without
+// touching the topology: samples must be aligned with the build-time set
+// and every position unchanged (checked against the build-time position
+// snapshot — a moved sample is an error, use Rebuild). This is the
+// per-timestep path of the surface-LIC loop, where the scattered node
+// positions are static and only the velocities change. Allocation-free;
+// passing the slice the tree was built from is allowed (the snapshot keeps
+// the moved-sample check meaningful even then).
+func (t *Tree) UpdateValues(samples []Sample) error {
+	if len(samples) != len(t.samples) {
+		return fmt.Errorf("quadtree: UpdateValues with %d samples, tree has %d", len(samples), len(t.samples))
+	}
+	for i := range samples {
+		// Compare against the build-time snapshot, not t.samples — the
+		// caller may be handing back the tree-owned slice.
+		if samples[i].X != t.posX[i] || samples[i].Y != t.posY[i] {
+			return fmt.Errorf("quadtree: UpdateValues sample %d moved (%v,%v) -> (%v,%v)",
+				i, t.posX[i], t.posY[i], samples[i].X, samples[i].Y)
+		}
+		t.samples[i].VX, t.samples[i].VY = samples[i].VX, samples[i].VY
+	}
+	return nil
+}
+
+// Rebuild re-inserts the given samples into the tree. When every position
+// matches the current samples it reduces to UpdateValues (the node arrays
+// are reused untouched); otherwise the tree is rebuilt from the node arena,
+// reusing every previously allocated block and leaf slice. Either way a
+// steady-state animation loop allocates nothing once the arena has grown.
+func (t *Tree) Rebuild(samples []Sample) error {
+	if len(samples) == len(t.samples) {
+		same := true
+		for i := range samples {
+			if samples[i].X != t.posX[i] || samples[i].Y != t.posY[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t.UpdateValues(samples)
+		}
+	}
+	return t.rebuild(samples)
+}
+
+// newChildren takes the next child block from the arena, growing it only
+// when every previously allocated block is in use.
+func (t *Tree) newChildren() *[4]node {
+	if t.arenaUsed < len(t.arena) {
+		blk := t.arena[t.arenaUsed]
+		t.arenaUsed++
+		return blk
+	}
+	blk := new([4]node)
+	t.arena = append(t.arena, blk)
+	t.arenaUsed++
+	return blk
 }
 
 // Len returns the number of samples.
@@ -81,62 +172,64 @@ func (t *Tree) childFor(n *node, si int) *node {
 
 func (t *Tree) split(n *node) {
 	h := n.size / 2
-	n.children = &[4]node{
-		{x0: n.x0, y0: n.y0, size: h, used: true},
-		{x0: n.x0 + h, y0: n.y0, size: h, used: true},
-		{x0: n.x0, y0: n.y0 + h, size: h, used: true},
-		{x0: n.x0 + h, y0: n.y0 + h, size: h, used: true},
-	}
+	blk := t.newChildren()
+	blk[0] = node{x0: n.x0, y0: n.y0, size: h, used: true, samples: blk[0].samples[:0]}
+	blk[1] = node{x0: n.x0 + h, y0: n.y0, size: h, used: true, samples: blk[1].samples[:0]}
+	blk[2] = node{x0: n.x0, y0: n.y0 + h, size: h, used: true, samples: blk[2].samples[:0]}
+	blk[3] = node{x0: n.x0 + h, y0: n.y0 + h, size: h, used: true, samples: blk[3].samples[:0]}
+	n.children = blk
 	old := n.samples
-	n.samples = nil
+	n.samples = n.samples[:0]
 	for _, si := range old {
 		t.childFor(n, si).samples = append(t.childFor(n, si).samples, si)
 	}
 }
 
 // Nearest returns the index of the sample closest to (x, y), or -1 for an
-// empty tree. Standard best-first quadtree search with pruning.
+// empty tree. Standard best-first quadtree search with pruning. (A plain
+// method recursion rather than a closure, so the per-pixel resample loop
+// allocates nothing.)
 func (t *Tree) Nearest(x, y float64) int {
 	best := -1
 	bestD := math.Inf(1)
-	var visit func(n *node)
-	visit = func(n *node) {
-		// Prune: minimum possible distance from (x,y) to the cell.
-		dx := math.Max(0, math.Max(n.x0-x, x-(n.x0+n.size)))
-		dy := math.Max(0, math.Max(n.y0-y, y-(n.y0+n.size)))
-		if dx*dx+dy*dy >= bestD {
-			return
+	t.nearest(&t.root, x, y, &best, &bestD)
+	return best
+}
+
+func (t *Tree) nearest(n *node, x, y float64, best *int, bestD *float64) {
+	// Prune: minimum possible distance from (x,y) to the cell.
+	dx := math.Max(0, math.Max(n.x0-x, x-(n.x0+n.size)))
+	dy := math.Max(0, math.Max(n.y0-y, y-(n.y0+n.size)))
+	if dx*dx+dy*dy >= *bestD {
+		return
+	}
+	if n.children != nil {
+		// Visit the child containing the query first.
+		h := n.size / 2
+		ix, iy := 0, 0
+		if x >= n.x0+h {
+			ix = 1
 		}
-		if n.children != nil {
-			// Visit the child containing the query first.
-			h := n.size / 2
-			ix, iy := 0, 0
-			if x >= n.x0+h {
-				ix = 1
-			}
-			if y >= n.y0+h {
-				iy = 1
-			}
-			first := ix + 2*iy
-			visit(&n.children[first])
-			for c := 0; c < 4; c++ {
-				if c != first {
-					visit(&n.children[c])
-				}
-			}
-			return
+		if y >= n.y0+h {
+			iy = 1
 		}
-		for _, si := range n.samples {
-			s := t.samples[si]
-			d := (s.X-x)*(s.X-x) + (s.Y-y)*(s.Y-y)
-			if d < bestD {
-				bestD = d
-				best = si
+		first := ix + 2*iy
+		t.nearest(&n.children[first], x, y, best, bestD)
+		for c := 0; c < 4; c++ {
+			if c != first {
+				t.nearest(&n.children[c], x, y, best, bestD)
 			}
+		}
+		return
+	}
+	for _, si := range n.samples {
+		s := t.samples[si]
+		d := (s.X-x)*(s.X-x) + (s.Y-y)*(s.Y-y)
+		if d < *bestD {
+			*bestD = d
+			*best = si
 		}
 	}
-	visit(&t.root)
-	return best
 }
 
 // Grid is a regular 2D vector field resampled from the quadtree.
@@ -175,13 +268,26 @@ func (g *Grid) At(x, y float64) (vx, vy float64) {
 // processors before LIC ("a 2D regular-grid vector field is derived using
 // the underlying quadtree").
 func (t *Tree) Resample(w, h int) (*Grid, error) {
+	g := &Grid{}
+	if err := t.ResampleInto(g, w, h); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ResampleInto is Resample writing into an existing grid, reusing its
+// buffers — the steady-state path of the per-timestep LIC loop, which
+// allocates nothing once the grid has grown to size.
+func (t *Tree) ResampleInto(g *Grid, w, h int) error {
 	if w < 2 || h < 2 {
-		return nil, fmt.Errorf("quadtree: resample grid %dx%d too small", w, h)
+		return fmt.Errorf("quadtree: resample grid %dx%d too small", w, h)
 	}
 	if t.Len() == 0 {
-		return nil, fmt.Errorf("quadtree: resampling an empty tree")
+		return fmt.Errorf("quadtree: resampling an empty tree")
 	}
-	g := &Grid{W: w, H: h, VX: make([]float64, w*h), VY: make([]float64, w*h)}
+	g.W, g.H = w, h
+	g.VX = pool.Grow(g.VX, w*h)
+	g.VY = pool.Grow(g.VY, w*h)
 	for j := 0; j < h; j++ {
 		y := float64(j) / float64(h-1)
 		for i := 0; i < w; i++ {
@@ -191,5 +297,5 @@ func (t *Tree) Resample(w, h int) (*Grid, error) {
 			g.VY[j*w+i] = t.samples[si].VY
 		}
 	}
-	return g, nil
+	return nil
 }

@@ -177,3 +177,202 @@ func TestGridAtClamps(t *testing.T) {
 		t.Errorf("clamped At = %v", vx)
 	}
 }
+
+// --- PR 3: rebuild / value-update / resample-into reuse ---------------------
+
+func randSamples(rng *rand.Rand, n int) []Sample {
+	out := make([]Sample, n)
+	for i := range out {
+		out[i] = Sample{X: rng.Float64(), Y: rng.Float64(), VX: rng.NormFloat64(), VY: rng.NormFloat64()}
+	}
+	return out
+}
+
+// TestRebuildMatchesFreshBuild: re-inserting a different sample set through
+// the arena must answer every query exactly like a freshly built tree, and
+// resampled grids must be identical.
+func TestRebuildMatchesFreshBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	tree, err := Build(randSamples(rng, 200), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gen := 0; gen < 4; gen++ {
+		samples := randSamples(rng, 120+60*gen)
+		if err := tree.Rebuild(samples); err != nil {
+			t.Fatal(err)
+		}
+		fresh, err := Build(append([]Sample(nil), samples...), 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for q := 0; q < 300; q++ {
+			x, y := rng.Float64(), rng.Float64()
+			if got, want := tree.Nearest(x, y), fresh.Nearest(x, y); got != want {
+				t.Fatalf("gen %d: Nearest(%v,%v) = %d, fresh build says %d", gen, x, y, got, want)
+			}
+		}
+		g1, err := tree.Resample(20, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g2, err := fresh.Resample(20, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range g1.VX {
+			if g1.VX[i] != g2.VX[i] || g1.VY[i] != g2.VY[i] {
+				t.Fatalf("gen %d: resampled grids differ at %d", gen, i)
+			}
+		}
+	}
+}
+
+// TestRebuildValidates: out-of-range samples must be rejected by Rebuild
+// exactly as by Build.
+func TestRebuildValidates(t *testing.T) {
+	tree, err := Build([]Sample{{X: 0.5, Y: 0.5}}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Rebuild([]Sample{{X: 1.5, Y: 0.5}}); err == nil {
+		t.Error("out-of-range sample accepted by Rebuild")
+	}
+}
+
+// TestUpdateValuesInPlace: value updates must flow through to queries
+// without touching topology, and moved samples must be rejected.
+func TestUpdateValuesInPlace(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	samples := randSamples(rng, 100)
+	tree, err := Build(samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Update values through the tree's own slice (the pipeline's pattern).
+	for i := range samples {
+		samples[i].VX, samples[i].VY = float64(i), -float64(i)
+	}
+	if err := tree.UpdateValues(samples); err != nil {
+		t.Fatal(err)
+	}
+	g, err := tree.Resample(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.VX[8*16+8] != samples[tree.Nearest(8.0/15, 8.0/15)].VX {
+		t.Error("updated values not visible in resample")
+	}
+	moved := append([]Sample(nil), samples...)
+	moved[3].X += 0.01
+	if err := tree.UpdateValues(moved); err == nil {
+		t.Error("moved sample accepted by UpdateValues")
+	}
+	if err := tree.UpdateValues(moved[:50]); err == nil {
+		t.Error("short sample set accepted by UpdateValues")
+	}
+}
+
+// TestLICStepTreeAllocFree is the quadtree half of the PR 3 LIC-step gate:
+// once built, a per-timestep value update plus a full regular-grid resample
+// allocates nothing.
+func TestLICStepTreeAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	samples := randSamples(rng, 300)
+	tree, err := Build(samples, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g Grid
+	if err := tree.ResampleInto(&g, 32, 32); err != nil {
+		t.Fatal(err)
+	}
+	step := 0
+	avg := testing.AllocsPerRun(20, func() {
+		step++
+		for i := range samples {
+			samples[i].VX = float64(step + i)
+		}
+		if err := tree.Rebuild(samples); err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.ResampleInto(&g, 32, 32); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state quadtree LIC step allocates %v, want 0", avg)
+	}
+}
+
+// TestRebuildArenaReuse: a topology-changing rebuild at steady state (same
+// sample count cycling between two position sets) must stop allocating once
+// the arena has grown to cover both shapes.
+func TestRebuildArenaReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	a := randSamples(rng, 200)
+	b := randSamples(rng, 200)
+	tree, err := Build(append([]Sample(nil), a...), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]Sample, 200)
+	// Warm both topologies.
+	copy(buf, b)
+	if err := tree.Rebuild(buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, a)
+	if err := tree.Rebuild(buf); err != nil {
+		t.Fatal(err)
+	}
+	flip := 0
+	avg := testing.AllocsPerRun(20, func() {
+		flip++
+		if flip%2 == 0 {
+			copy(buf, a)
+		} else {
+			copy(buf, b)
+		}
+		if err := tree.Rebuild(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state topology rebuild allocates %v, want 0", avg)
+	}
+}
+
+// TestRebuildDetectsAliasedMove: mutating a position through the slice the
+// tree owns must still be detected — the position snapshot, not the
+// (self-aliased) samples, is the comparison baseline.
+func TestRebuildDetectsAliasedMove(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	samples := randSamples(rng, 80)
+	tree, err := Build(samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.UpdateValues(samples); err != nil {
+		t.Fatal(err)
+	}
+	samples[7].X = samples[7].X/2 + 0.25
+	if err := tree.UpdateValues(samples); err == nil {
+		t.Error("aliased position move accepted by UpdateValues")
+	}
+	// Rebuild must notice too, fall through to a full re-insert, and then
+	// answer like a fresh build over the moved set.
+	if err := tree.Rebuild(samples); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Build(append([]Sample(nil), samples...), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 200; q++ {
+		x, y := rng.Float64(), rng.Float64()
+		if got, want := tree.Nearest(x, y), fresh.Nearest(x, y); got != want {
+			t.Fatalf("Nearest(%v,%v) = %d after aliased-move rebuild, fresh build says %d", x, y, got, want)
+		}
+	}
+}

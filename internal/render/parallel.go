@@ -63,6 +63,13 @@ func newPooledImage(w, h int) *img.Image {
 	return img.New(w, h)
 }
 
+// ReleaseFragments returns fragment pixel buffers to the pool. Only
+// callers that own the fragments outright may release — after compositing
+// has copied or encoded everything it needs — and the fragments are
+// unusable afterwards. The distributed pipeline calls this at the end of
+// each Composite, closing the render-side allocation loop.
+func ReleaseFragments(frags []*Fragment) { releaseFragments(frags) }
+
 // releaseFragments returns fragment pixel buffers to the pool. Only
 // callers that own the fragments outright (RenderParallel, after
 // compositing) may release; the fragments are unusable afterwards.
