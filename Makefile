@@ -14,10 +14,11 @@ build:
 test:
 	$(GO) test ./...
 
-# The worker-pool renderer, LIC convolution, compositor and pipeline are
-# the concurrent subsystems; run them under the race detector.
+# The worker-pool renderer, LIC convolution, compositor, pipeline and the
+# persistent worker pool are the concurrent subsystems; run them under the
+# race detector.
 race:
-	$(GO) test -race ./internal/render/... ./internal/lic/... ./internal/core/... ./internal/compositor/...
+	$(GO) test -race ./internal/render/... ./internal/lic/... ./internal/core/... ./internal/compositor/... ./internal/workers/...
 
 vet:
 	$(GO) vet ./...
@@ -35,6 +36,8 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/mpiio/
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/compositor/
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/lic/
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/core/
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/workers/
 
 check: build vet fmtcheck test race
 
@@ -49,8 +52,9 @@ check: build vet fmtcheck test race
 ci: check
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestSpMVSpeedupGate' -v ./internal/quake/
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestCompositeStripSpeedupGate' -v ./internal/compositor/
-	$(GO) test -run 'AllocFree|AllocBudget|ArenaReuse' -v ./internal/compositor/ ./internal/render/ ./internal/lic/ ./internal/quadtree/
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/compositor/ ./internal/lic/ ./internal/render/ ./internal/mpiio/
+	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestDecodeChainSpeedupGate' -v ./internal/core/
+	$(GO) test -run 'AllocFree|AllocBudget|ArenaReuse' -v ./internal/compositor/ ./internal/render/ ./internal/lic/ ./internal/quadtree/ ./internal/core/ ./internal/mpiio/ ./internal/workers/
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/compositor/ ./internal/lic/ ./internal/render/ ./internal/mpiio/ ./internal/core/ ./internal/workers/
 
 # Short exploratory fuzz sessions; the committed seeds alone run in `test`.
 fuzz:

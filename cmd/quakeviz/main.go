@@ -136,6 +136,11 @@ func main() {
 			log.Fatal(err)
 		}
 		f.Close()
+		if *gifPath == "" {
+			// Frame written out: release its canvas to the frame ring (the
+			// GIF path still needs every frame below).
+			w.ReleaseFrame(t)
+		}
 	}
 	if *gifPath != "" {
 		frames := make([]*img.Image, w.Steps())
@@ -158,6 +163,7 @@ func main() {
 		}
 		log.Printf("PGV map -> %s", *pgvPath)
 	}
+	w.Close() // run is over: shut the per-rank worker pools down
 	res := p.Res
 	fmt.Printf("rendered %d frames in %.2fs (%.2fs/frame steady-state interframe)\n",
 		res.Frames, elapsed, res.Interframe(layout.Groups))

@@ -204,7 +204,7 @@ type uniModel struct{ m mesh.Material }
 func (u uniModel) At(p [3]float64) mesh.Material { return u.m }
 
 // buildDataset produces a small real dataset in a fresh store.
-func buildDataset(t *testing.T, steps int) pfs.Store {
+func buildDataset(t testing.TB, steps int) pfs.Store {
 	t.Helper()
 	cfg := mesh.Config{Domain: 2000, FMax: 1.2, PointsPerWave: 4, MaxLevel: 4, MinLevel: 2}
 	msh, err := mesh.Generate(cfg, basinish{})
@@ -241,6 +241,7 @@ func runReal(t *testing.T, store pfs.Store, l Layout, opts Options) (*RealWorklo
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(w.Close)
 	p, err := NewPipeline(l, w)
 	if err != nil {
 		t.Fatal(err)

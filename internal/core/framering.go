@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/img"
+)
+
+// FrameRing recycles assembled output frames, closing the last per-step
+// allocation of the output stage. Assemble acquires a canvas per timestep;
+// the frame then lives in the workload's frame table until a consumer
+// either copies it out (CopyFrameInto) or releases it (ReleaseFrame), which
+// returns the canvas to the ring. A consumer that releases frames as it
+// uses them keeps the ring at its initial depth — sized to the prefetch
+// window, since that bounds how many frames are in flight at once — and the
+// steady-state assemble allocates nothing. A consumer that never releases
+// (the batch examples read every frame after the run) simply grows the
+// ring's working set to the step count, exactly the pre-ring behavior.
+//
+// Ownership contract: Acquire transfers the canvas to the caller; Release
+// transfers it back, after which the previous holder must not touch it.
+// The ring is mutex-guarded, so producer (output rank) and consumer may be
+// different goroutines.
+type FrameRing struct {
+	mu   sync.Mutex
+	free []*img.Image
+}
+
+// NewFrameRing returns a ring preloaded with depth w×h canvases.
+func NewFrameRing(depth, w, h int) *FrameRing {
+	r := &FrameRing{free: make([]*img.Image, 0, depth)}
+	for i := 0; i < depth; i++ {
+		r.free = append(r.free, img.New(w, h))
+	}
+	return r
+}
+
+// Acquire returns a cleared w×h canvas, reusing a released one when its
+// capacity suffices and allocating otherwise (the ring grows under
+// consumer lag instead of blocking the pipeline).
+func (r *FrameRing) Acquire(w, h int) *img.Image {
+	n := 4 * w * h
+	var m *img.Image
+	r.mu.Lock()
+	for i := len(r.free) - 1; i >= 0; i-- {
+		if cap(r.free[i].Pix) >= n {
+			m = r.free[i]
+			last := len(r.free) - 1
+			r.free[i] = r.free[last]
+			r.free = r.free[:last]
+			break
+		}
+	}
+	r.mu.Unlock()
+	if m == nil {
+		return img.New(w, h)
+	}
+	m.W, m.H = w, h
+	m.Pix = m.Pix[:n]
+	clear(m.Pix)
+	return m
+}
+
+// Release returns a canvas to the ring. nil is ignored.
+func (r *FrameRing) Release(m *img.Image) {
+	if m == nil {
+		return
+	}
+	r.mu.Lock()
+	r.free = append(r.free, m)
+	r.mu.Unlock()
+}

@@ -5,9 +5,9 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/mpi"
+	"repro/internal/workers"
 )
 
 // Workload supplies the stage implementations the pipeline schedules. Two
@@ -76,19 +76,47 @@ type Result struct {
 	RankRenderSec map[int]float64
 }
 
-func (r *Result) add(f func(*Result)) {
+// addInputStep folds one input-rank step's stage timings in. The typed
+// adders replace the old closure-taking add hook, whose per-step closure
+// allocations were the last garbage of the pipeline bookkeeping.
+func (r *Result) addInputStep(fetch, prep, wait, send float64) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	f(r)
+	r.FetchSec += fetch
+	r.PrepSec += prep
+	r.WaitCredit += wait
+	r.SendSec += send
+	r.mu.Unlock()
+}
+
+// addRenderStep folds one renderer step's timings in.
+func (r *Result) addRenderStep(rank int, render, comp float64) {
+	r.mu.Lock()
+	r.RenderSec += render
+	r.CompSec += comp
+	r.RenderOps++
+	if r.RankRenderSec == nil {
+		r.RankRenderSec = make(map[int]float64)
+	}
+	r.RankRenderSec[rank] += render
+	r.mu.Unlock()
+}
+
+// addFrame records a frame completion.
+func (r *Result) addFrame(now float64) {
+	r.mu.Lock()
+	r.FrameDone = append(r.FrameDone, now)
+	r.Frames++
+	r.mu.Unlock()
 }
 
 // Interframe returns the steady-state interframe delay: the mean gap
 // between consecutive frame completions, skipping the pipeline fill
-// (first `skip` frames).
+// (first `skip` frames). Out-of-range skips — negative, or leaving fewer
+// than two frames — fall back to using every frame.
 func (r *Result) Interframe(skip int) float64 {
 	times := append([]float64(nil), r.FrameDone...)
 	sort.Float64s(times)
-	if len(times)-skip < 2 {
+	if skip < 0 || len(times)-skip < 2 {
 		skip = 0
 	}
 	if len(times) < 2 {
@@ -155,7 +183,13 @@ func NewPipeline(l Layout, w Workload) (*Pipeline, error) {
 	if w.Steps() > 1<<17 {
 		return nil, fmt.Errorf("core: too many steps (%d) for the tag space", w.Steps())
 	}
-	return &Pipeline{Layout: l, W: w, Res: &Result{}, PrefetchDepth: 1}, nil
+	// FrameDone and the per-renderer busy map are preallocated so the
+	// per-step bookkeeping never grows them mid-run.
+	res := &Result{
+		FrameDone:     make([]float64, 0, w.Steps()),
+		RankRenderSec: make(map[int]float64, l.Renderers),
+	}
+	return &Pipeline{Layout: l, W: w, Res: res, PrefetchDepth: 1}, nil
 }
 
 // Run executes this rank's role; call from every rank of the world.
@@ -185,6 +219,29 @@ func (p *Pipeline) runInput(c *mpi.Comm) error {
 	// Per-step payload staging, reused across this rank's timesteps.
 	bytes := make([]int64, l.Renderers)
 	data := make([]any, l.Renderers)
+	// Payload-build parallelism: constant across steps, so the worker pool
+	// and the build closure are created once and every step's fan-out is a
+	// pool dispatch, not `pw` goroutine spawns.
+	pw := p.Workers
+	if pw <= 0 {
+		// All input ranks share one process under the mock MPI: split the
+		// machine between them like the renderer side does.
+		pw = runtime.NumCPU() / l.NumInput()
+		if pw < 1 {
+			pw = 1
+		}
+	}
+	if pw > l.Renderers {
+		pw = l.Renderers
+	}
+	var wp *workers.Pool
+	var curT int
+	var curPrep any
+	build := func(r int) { bytes[r], data[r] = p.W.PayloadFor(c, curT, curPrep, r) }
+	if pw > 1 {
+		wp = workers.New(pw)
+		defer wp.Close()
+	}
 	for t := g; t < steps; t += l.Groups {
 		t0 := c.Now()
 		fetched, err := p.W.Fetch(c, t, part, m)
@@ -206,39 +263,13 @@ func (p *Pipeline) runInput(c *mpi.Comm) error {
 		t3 := c.Now()
 		// Build every renderer's payload (concurrently when allowed), then
 		// send in renderer order so the message stream is unchanged.
-		pw := p.Workers
-		if pw <= 0 {
-			// All input ranks share one process under the mock MPI: split
-			// the machine between them like the renderer side does.
-			pw = runtime.NumCPU() / l.NumInput()
-			if pw < 1 {
-				pw = 1
-			}
-		}
-		if pw > l.Renderers {
-			pw = l.Renderers
-		}
-		if pw <= 1 {
+		if wp == nil {
 			for r := 0; r < l.Renderers; r++ {
 				bytes[r], data[r] = p.W.PayloadFor(c, t, prep, r)
 			}
 		} else {
-			var next atomic.Int64
-			var wg sync.WaitGroup
-			wg.Add(pw)
-			for k := 0; k < pw; k++ {
-				go func() {
-					defer wg.Done()
-					for {
-						r := int(next.Add(1)) - 1
-						if r >= l.Renderers {
-							return
-						}
-						bytes[r], data[r] = p.W.PayloadFor(c, t, prep, r)
-					}
-				}()
-			}
-			wg.Wait()
+			curT, curPrep = t, prep
+			wp.Run(pw, l.Renderers, build)
 		}
 		for r := 0; r < l.Renderers; r++ {
 			c.Send(l.RenderRank(r), tagData(t), bytes[r], data[r])
@@ -251,12 +282,7 @@ func (p *Pipeline) runInput(c *mpi.Comm) error {
 			}
 			c.Send(l.OutputRank(t), tagLIC(t), bytes, data)
 		}
-		p.Res.add(func(res *Result) {
-			res.FetchSec += t1 - t0
-			res.PrepSec += t2 - t1
-			res.WaitCredit += t3 - t2
-			res.SendSec += t4 - t3
-		})
+		p.Res.addInputStep(t1-t0, t2-t1, t3-t2, t4-t3)
 	}
 	return nil
 }
@@ -314,15 +340,7 @@ func (p *Pipeline) runRenderer(c *mpi.Comm) error {
 		}
 		t2 := c.Now()
 		c.Send(l.OutputRank(t), tagStrip(t), bytes, strip)
-		p.Res.add(func(res *Result) {
-			res.RenderSec += t1 - t0
-			res.CompSec += t2 - t1
-			res.RenderOps++
-			if res.RankRenderSec == nil {
-				res.RankRenderSec = make(map[int]float64)
-			}
-			res.RankRenderSec[r] += t1 - t0
-		})
+		p.Res.addRenderStep(r, t1-t0, t2-t1)
 	}
 	return nil
 }
@@ -347,11 +365,7 @@ func (p *Pipeline) runOutput(c *mpi.Comm) error {
 		if err := p.W.Assemble(c, t, strips, lic); err != nil {
 			return fmt.Errorf("core: output %d step %d: %w", o, t, err)
 		}
-		now := c.Now()
-		p.Res.add(func(res *Result) {
-			res.FrameDone = append(res.FrameDone, now)
-			res.Frames++
-		})
+		p.Res.addFrame(c.Now())
 	}
 	return nil
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled skips the steady-state allocation gates under the race
+// detector, whose instrumentation allocates shadow state on paths that are
+// allocation-free in a normal build.
+const raceEnabled = true

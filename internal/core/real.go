@@ -19,6 +19,7 @@ import (
 	"repro/internal/quadtree"
 	"repro/internal/quake"
 	"repro/internal/render"
+	"repro/internal/workers"
 )
 
 // RealWorkload runs the pipeline on an actual dataset: data is fetched
@@ -68,6 +69,15 @@ type RealWorkload struct {
 	ipScr     []*ipScratch       // indexed by input world rank
 	rendScr   []*rendererScratch // indexed by renderer
 	outScr    []*outputScratch   // indexed by output processor
+
+	// stepNames caches every step's object name (PR 4): the fetch loop
+	// opens one object per timestep, and formatting the name there was the
+	// last per-step allocation of the read path.
+	stepNames []string
+
+	// ring recycles assembled frame canvases; see FrameRing for the
+	// copy-out-or-release consumer contract.
+	ring *FrameRing
 
 	framesMu sync.Mutex
 	frames   map[int]*img.Image
@@ -126,6 +136,15 @@ func NewRealWorkload(l Layout, opts Options, store pfs.Store) (*RealWorkload, er
 	if opts.MaxSteps > 0 && opts.MaxSteps < w.steps {
 		w.steps = opts.MaxSteps
 	}
+	w.stepNames = make([]string, w.steps)
+	for t := range w.stepNames {
+		w.stepNames[t] = quake.StepObject(t)
+	}
+	// The frame ring is sized to the pipeline's prefetch window (the
+	// default depth of 1 keeps one step streaming while one renders, so at
+	// most two frames per output rank are in flight when consumers release
+	// promptly); it grows on demand when they do not.
+	w.ring = NewFrameRing(2*l.Outputs, opts.Width, opts.Height)
 	depth := m.Tree.MaxDepth()
 	w.level = opts.Level
 	if w.level > depth {
@@ -246,6 +265,14 @@ func NewRealWorkload(l Layout, opts Options, store pfs.Store) (*RealWorkload, er
 			rs.bds[i] = new(render.BlockData)
 			rs.vals[i] = make([][8]float32, len(w.blockCells[bi]))
 		}
+		// The pool is sized to the rank's actual dispatch width (Render
+		// clamps to the same value), not NumCPU: renderer ranks share one
+		// process under the mock MPI, so a full-machine pool per rank would
+		// park Renderers*NumCPU idle goroutines. Width 1 renders inline and
+		// needs no pool at all.
+		if rw := w.rankWorkers(); rw > 1 {
+			rs.pool = workers.New(rw)
+		}
 		w.rendScr[r] = rs
 	}
 	w.outScr = make([]*outputScratch, l.Outputs)
@@ -350,20 +377,34 @@ func cellCornerIDs(m *mesh.Mesh, cell octree.Cell) ([8]int32, error) {
 }
 
 func sortIDs(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
+}
+
+// stepName returns the cached object name of timestep t.
+func (w *RealWorkload) stepName(t int) string {
+	if t >= 0 && t < len(w.stepNames) {
+		return w.stepNames[t]
+	}
+	return quake.StepObject(t)
 }
 
 // scanRange computes the dataset-wide maximum velocity magnitude for
-// quantization (the paper's preprocessing quantizes 32-bit to 8-bit).
+// quantization (the paper's preprocessing quantizes 32-bit to 8-bit). The
+// decode buffers are reused across the scan.
 func (w *RealWorkload) scanRange() error {
 	var vmax float32
 	buf := make([]byte, w.meta.NumNodes*quake.BytesPerNode)
+	var vec, mag []float32
+	var err error
 	for t := 0; t < w.steps; t++ {
-		if err := w.store.ReadAt(nil, quake.StepObject(t), 0, buf); err != nil {
+		if err := w.store.ReadAt(nil, w.stepName(t), 0, buf); err != nil {
 			return fmt.Errorf("core: scanning step %d: %w", t, err)
 		}
-		vec := quake.DecodeStep(buf)
-		for _, m := range render.Magnitude(vec) {
+		if vec, err = quake.DecodeStepInto(vec, buf); err != nil {
+			return fmt.Errorf("core: scanning step %d: %w", t, err)
+		}
+		mag = render.MagnitudeInto(mag, vec)
+		for _, m := range mag {
 			if m > vmax {
 				vmax = m
 			}
@@ -382,15 +423,85 @@ func (w *RealWorkload) Steps() int { return w.steps }
 // WantLIC implements Workload.
 func (w *RealWorkload) WantLIC() bool { return w.opts.LIC }
 
-// Frame returns the assembled image for timestep t (after the run).
+// Frame returns the assembled image for timestep t (after the run, or as
+// soon as the step's Assemble completed). The image is a borrow from the
+// frame ring: it stays valid until the caller releases it with
+// ReleaseFrame (or copies it out with CopyFrameInto). Callers that never
+// release simply keep every frame alive, at the pre-ring memory cost.
 func (w *RealWorkload) Frame(t int) *img.Image {
 	w.framesMu.Lock()
 	defer w.framesMu.Unlock()
 	return w.frames[t]
 }
 
+// ReleaseFrame returns timestep t's assembled frame to the frame ring and
+// forgets it. The image previously returned by Frame(t) must not be used
+// afterwards. Releasing a missing or already-released step is a no-op.
+// Streaming consumers release each frame once written out, which keeps the
+// ring at the prefetch depth and the steady-state assemble allocation-free.
+func (w *RealWorkload) ReleaseFrame(t int) {
+	w.framesMu.Lock()
+	frame := w.frames[t]
+	delete(w.frames, t)
+	w.framesMu.Unlock()
+	w.ring.Release(frame)
+}
+
+// CopyFrameInto copies timestep t's assembled frame into dst (resized as
+// needed) and releases the original back to the ring — the copy-out side
+// of the ring's consumer contract. It reports whether the frame existed.
+func (w *RealWorkload) CopyFrameInto(t int, dst *img.Image) bool {
+	w.framesMu.Lock()
+	frame := w.frames[t]
+	delete(w.frames, t)
+	w.framesMu.Unlock()
+	if frame == nil {
+		return false
+	}
+	dst.W, dst.H = frame.W, frame.H
+	dst.Pix = pool.Grow(dst.Pix, len(frame.Pix))
+	copy(dst.Pix, frame.Pix)
+	w.ring.Release(frame)
+	return true
+}
+
 // Mesh exposes the loaded mesh (for examples).
 func (w *RealWorkload) Mesh() *mesh.Mesh { return w.mesh }
+
+// rankWorkers returns one rank's shared-memory dispatch width: the Workers
+// knob, or — since all ranks run as goroutines of one process under the
+// mock MPI — an equal split of the machine across the renderer ranks.
+func (w *RealWorkload) rankWorkers() int {
+	if w.opts.Workers > 0 {
+		return w.opts.Workers
+	}
+	rw := runtime.NumCPU() / w.layout.Renderers
+	if rw < 1 {
+		rw = 1
+	}
+	return rw
+}
+
+// Close shuts down the workload's persistent worker pools (the renderer
+// ranks' and the LIC ranks'). Optional — an unreachable workload's pools
+// are reclaimed by the GC cleanup backstop — but long-lived processes that
+// build many workloads (test suites, experiment sweeps) should close each
+// one when done with it. The workload must not run afterwards; frames and
+// their ring remain usable.
+func (w *RealWorkload) Close() {
+	for _, rs := range w.rendScr {
+		if rs.pool != nil {
+			rs.pool.Close()
+			rs.pool = nil
+		}
+	}
+	for _, scr := range w.ipScr {
+		if scr.lic.scr.Pool != nil {
+			scr.lic.scr.Pool.Close()
+			scr.lic.scr.Pool = nil
+		}
+	}
+}
 
 // VMax exposes the quantization range (for tests).
 func (w *RealWorkload) VMax() float32 { return w.vmax }
@@ -401,19 +512,28 @@ func (w *RealWorkload) adaptiveFetching() bool {
 	return w.opts.AdaptiveFetch
 }
 
-// readIDs fetches the velocity records of the given sorted node ids from
-// step t and returns their magnitudes quantized (aligned with ids). The
-// displacement and read buffers come from the rank's scratch.
-func (w *RealWorkload) readIDs(c *mpi.Comm, t int, ids []int32, scr *ipScratch) ([]uint8, error) {
-	f, err := mpiio.Open(c, w.store, quake.StepObject(t))
-	if err != nil {
-		return nil, err
-	}
+// setIndexedView rebuilds the scratch's indexed view over the given node
+// ids and installs it on f by pointer, so the per-step view rebuild boxes
+// and allocates nothing.
+func setIndexedView(f *mpiio.File, ids []int32, scr *ipScratch) {
 	scr.displs = pool.Grow[int64](scr.displs, len(ids))
 	for i, id := range ids {
 		scr.displs[i] = int64(id)
 	}
-	f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: scr.displs, ElemSize: quake.BytesPerNode})
+	scr.ib = mpiio.IndexedBlock{Blocklen: 1, Displs: scr.displs, ElemSize: quake.BytesPerNode}
+	f.SetView(0, &scr.ib)
+}
+
+// readIDs fetches the velocity records of the given sorted node ids from
+// step t and returns their magnitudes quantized (aligned with ids). The
+// file handle, displacement and read buffers come from the rank's scratch,
+// so a steady-state call allocates nothing.
+func (w *RealWorkload) readIDs(c *mpi.Comm, t int, ids []int32, scr *ipScratch) ([]uint8, error) {
+	f := &scr.file
+	if err := f.Reopen(c, w.store, w.stepName(t)); err != nil {
+		return nil, err
+	}
+	setIndexedView(f, ids, scr)
 	size, err := f.ViewSize()
 	if err != nil {
 		return nil, err
@@ -426,31 +546,48 @@ func (w *RealWorkload) readIDs(c *mpi.Comm, t int, ids []int32, scr *ipScratch) 
 }
 
 // magQuant converts raw node records (aligned with ids) to quantized
-// magnitudes, applying temporal enhancement when enabled.
+// magnitudes, applying temporal enhancement when enabled. The whole decode
+// chain runs through the scratch's Into buffers (quake.DecodeStepInto ->
+// render.MagnitudeInto -> EnhanceTemporalInto in place -> QuantizeInto):
+// the returned slice aliases scr.q and is valid until the rank's next
+// magQuant, and a malformed step record surfaces as an error instead of
+// silently truncating.
 func (w *RealWorkload) magQuant(c *mpi.Comm, t int, ids []int32, raw []byte, scr *ipScratch) ([]uint8, error) {
-	vec := quake.DecodeStep(raw)
-	mag := render.Magnitude(vec)
+	vec, err := quake.DecodeStepInto(scr.vec, raw)
+	if err != nil {
+		return nil, fmt.Errorf("core: step %d: %w", t, err)
+	}
+	scr.vec = vec
+	scr.mag = render.MagnitudeInto(scr.mag, vec)
+	mag := scr.mag
 	if w.opts.Enhancement && t > 0 {
 		// Enhancement needs the previous step's values for the same nodes;
 		// the displacements are the same ids, rebuilt in the scratch buffer
-		// (the step-t view has already been read).
-		f, err := mpiio.Open(c, w.store, quake.StepObject(t-1))
+		// (the step-t view has already been read), through the second file
+		// handle so the current step's sieve plan stays warm.
+		f := &scr.pfile
+		if err := f.Reopen(c, w.store, w.stepName(t-1)); err != nil {
+			return nil, err
+		}
+		setIndexedView(f, ids, scr)
+		size, err := f.ViewSize()
 		if err != nil {
 			return nil, err
 		}
-		scr.displs = pool.Grow[int64](scr.displs, len(ids))
-		for i, id := range ids {
-			scr.displs[i] = int64(id)
-		}
-		f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: scr.displs, ElemSize: quake.BytesPerNode})
-		praw, err := f.Read()
-		if err != nil {
+		scr.praw = pool.Grow[byte](scr.praw, int(size))
+		if _, err := f.ReadInto(scr.praw); err != nil {
 			return nil, err
 		}
-		pmag := render.Magnitude(quake.DecodeStep(praw))
-		mag = render.EnhanceTemporal(mag, pmag, w.opts.EnhanceGain)
+		pvec, err := quake.DecodeStepInto(scr.pvec, scr.praw)
+		if err != nil {
+			return nil, fmt.Errorf("core: step %d: %w", t-1, err)
+		}
+		scr.pvec = pvec
+		scr.pmag = render.MagnitudeInto(scr.pmag, pvec)
+		mag = render.EnhanceTemporalInto(mag, mag, scr.pmag, w.opts.EnhanceGain)
 	}
-	return render.Quantize(mag, 0, w.vmax), nil
+	scr.q = render.QuantizeInto(scr.q, mag, 0, w.vmax)
+	return scr.q, nil
 }
 
 // Fetch implements Workload. The stepShare — including its full-node
@@ -471,29 +608,33 @@ func (w *RealWorkload) Fetch(c *mpi.Comm, t, part, m int) (any, error) {
 	case w.opts.ReadStrategy == ReadCollective:
 		// The group's m IPs read collectively: part p fetches the merged
 		// node set of the renderers it owns. The collective runs on the
-		// group's sub-communicator.
+		// group's sub-communicator, built once per run and reused across
+		// this rank's timesteps (an input rank always serves one group).
 		ids := scr.ids[:0]
 		for _, bi := range w.ipBlocks[part] {
 			ids = append(ids, w.blockNodeIDs[bi]...)
 		}
 		ids = dedupSorted(ids)
 		scr.ids = ids
-		g := t % w.layout.Groups
-		sub := c.Sub(w.layout.GroupRanks(g), g)
-		f, err := mpiio.Open(sub, w.store, quake.StepObject(t))
+		if scr.sub == nil || scr.subParent != c {
+			g := t % w.layout.Groups
+			scr.sub = c.Sub(w.layout.GroupRanks(g), g)
+			scr.subParent = c
+		}
+		f := &scr.file
+		if err := f.Reopen(scr.sub, w.store, w.stepName(t)); err != nil {
+			return nil, err
+		}
+		setIndexedView(f, ids, scr)
+		size, err := f.ViewSize()
 		if err != nil {
 			return nil, err
 		}
-		scr.displs = pool.Grow[int64](scr.displs, len(ids))
-		for i, id := range ids {
-			scr.displs[i] = int64(id)
-		}
-		f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: scr.displs, ElemSize: quake.BytesPerNode})
-		raw, err := f.ReadAll(t)
-		if err != nil {
+		scr.raw = pool.Grow[byte](scr.raw, int(size))
+		if _, err := f.ReadAllInto(t, scr.raw); err != nil {
 			return nil, err
 		}
-		q, err := w.magQuant(c, t, ids, raw, scr)
+		q, err := w.magQuant(c, t, ids, scr.raw, scr)
 		if err != nil {
 			return nil, err
 		}
@@ -520,16 +661,16 @@ func (w *RealWorkload) Fetch(c *mpi.Comm, t, part, m int) (any, error) {
 		n := w.meta.NumNodes
 		lo := int32(n * part / m)
 		hi := int32(n * (part + 1) / m)
-		f, err := mpiio.Open(c, w.store, quake.StepObject(t))
-		if err != nil {
+		f := &scr.file
+		if err := f.Reopen(c, w.store, w.stepName(t)); err != nil {
 			return nil, err
 		}
-		raw, err := f.ReadContig(int64(lo)*quake.BytesPerNode, int64(hi-lo)*quake.BytesPerNode)
-		if err != nil {
+		scr.raw = pool.Grow[byte](scr.raw, int(hi-lo)*quake.BytesPerNode)
+		if err := f.ReadContigInto(int64(lo)*quake.BytesPerNode, scr.raw); err != nil {
 			return nil, err
 		}
 		ids := growIDRange(scr, lo, hi)
-		q, err := w.magQuant(c, t, ids, raw, scr)
+		q, err := w.magQuant(c, t, ids, scr.raw, scr)
 		if err != nil {
 			return nil, err
 		}
@@ -665,15 +806,11 @@ func (w *RealWorkload) PayloadFor(c *mpi.Comm, t int, prep any, renderer int) (i
 func (w *RealWorkload) LICPayload(c *mpi.Comm, t int, prep any) (int64, any, error) {
 	scr := w.ipScr[c.Rank()]
 	ls := &scr.lic
-	f, err := mpiio.Open(c, w.store, quake.StepObject(t))
-	if err != nil {
+	f := &scr.file
+	if err := f.Reopen(c, w.store, w.stepName(t)); err != nil {
 		return 0, nil, err
 	}
-	scr.displs = pool.Grow[int64](scr.displs, len(w.surfID))
-	for i, id := range w.surfID {
-		scr.displs[i] = int64(id)
-	}
-	f.SetView(0, mpiio.IndexedBlock{Blocklen: 1, Displs: scr.displs, ElemSize: quake.BytesPerNode})
+	setIndexedView(f, w.surfID, scr)
 	size64, err := f.ViewSize()
 	if err != nil {
 		return 0, nil, err
@@ -682,7 +819,11 @@ func (w *RealWorkload) LICPayload(c *mpi.Comm, t int, prep any) (int64, any, err
 	if _, err := f.ReadInto(scr.raw); err != nil {
 		return 0, nil, err
 	}
-	vec := quake.DecodeStep(scr.raw)
+	vec, err := quake.DecodeStepInto(scr.vec, scr.raw)
+	if err != nil {
+		return 0, nil, fmt.Errorf("core: step %d: %w", t, err)
+	}
+	scr.vec = vec
 	if cap(ls.samples) < len(w.surfID) {
 		ls.samples = make([]quadtree.Sample, len(w.surfID))
 	}
@@ -707,6 +848,12 @@ func (w *RealWorkload) LICPayload(c *mpi.Comm, t int, prep any) (int64, any, err
 	}
 	if err := ls.tree.ResampleInto(&ls.grid, size, size); err != nil {
 		return 0, nil, err
+	}
+	if ls.scr.Pool == nil && w.opts.Workers != 1 {
+		// Persistent pool for the row-band convolution fan-out: the LIC
+		// rank stops spawning goroutines every frame. Workers: 1 convolves
+		// inline and needs no pool; 0 keeps the legacy full-machine width.
+		ls.scr.Pool = workers.New(w.opts.Workers)
 	}
 	im, err := lic.ComputeWith(&ls.grid, size, size,
 		lic.Config{L: size / 12, Seed: 7, Phase: -1, Workers: w.opts.Workers}, &ls.scr)
@@ -793,22 +940,13 @@ func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any,
 			dp.release()
 		}
 	}
-	// Fan the ray casting out across this rank's worker pool (block- and
-	// tile-parallel; pixel-identical to the serial path). All renderer
-	// ranks run as goroutines of one process under the mock MPI, so by
-	// default split the machine between them instead of giving every rank
-	// NumCPU tile workers.
-	workers := w.opts.Workers
-	if workers <= 0 {
-		workers = runtime.NumCPU() / w.layout.Renderers
-		if workers < 1 {
-			workers = 1
-		}
-	}
+	// Fan the ray casting out across this rank's persistent worker pool
+	// (block- and tile-parallel; pixel-identical to the serial path).
+	workers := w.rankWorkers()
 	out := &rs.out
 	out.frags = out.frags[:0]
 	view := w.opts.View
-	frags := w.rend.RenderBlocks(rs.bds, &view, workers)
+	frags := w.rend.RenderBlocksWith(rs.bds, &view, workers, rs.pool)
 	for i, frag := range frags {
 		if frag != nil {
 			frag.VisRank = w.visRank[mine[i]]
@@ -847,10 +985,12 @@ func (w *RealWorkload) Composite(c *mpi.Comm, t, r int, group []int, rnd any) (i
 // Assemble implements Workload: paste strips, put the LIC surface image
 // underneath, and store the frame. Strip and LIC payloads are released
 // once consumed, returning their buffers to the sending ranks' pools; the
-// assembled frame itself is the product and stays a per-step allocation.
+// assembled frame comes from the frame ring, so a consumer that copies out
+// or releases frames as it goes makes the whole per-frame assemble
+// allocation-free.
 func (w *RealWorkload) Assemble(c *mpi.Comm, t int, strips []mpi.Message, licMsg *mpi.Message) error {
 	os := w.outScr[c.Rank()-w.layout.NumInput()-w.layout.Renderers]
-	frame := img.New(w.opts.Width, w.opts.Height)
+	frame := w.ring.Acquire(w.opts.Width, w.opts.Height)
 	for _, s := range strips {
 		sp, ok := s.Data.(*stripPayload)
 		if !ok {
@@ -867,6 +1007,9 @@ func (w *RealWorkload) Assemble(c *mpi.Comm, t int, strips []mpi.Message, licMsg
 		lp.release()
 	}
 	w.framesMu.Lock()
+	if old := w.frames[t]; old != nil && old != frame {
+		w.ring.Release(old) // re-assembled step: recycle the stale frame
+	}
 	w.frames[t] = frame
 	w.framesMu.Unlock()
 	return nil

@@ -15,9 +15,12 @@ import (
 	"repro/internal/compositor"
 	"repro/internal/img"
 	"repro/internal/lic"
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
 	"repro/internal/pool"
 	"repro/internal/quadtree"
 	"repro/internal/render"
+	"repro/internal/workers"
 )
 
 // dataPayload is the pooled wire form of one (input rank -> renderer,
@@ -105,15 +108,32 @@ type licState struct {
 // full-node quantized buffer) is reused across this rank's timesteps —
 // safe because a share is only read while its step's payloads are built,
 // strictly before the same rank's next Fetch. The id/displacement/read
-// buffers serve whichever read strategy runs, and the payload pool cycles
-// the wire messages released by the renderers.
+// buffers serve whichever read strategy runs, the file handles and decode-
+// chain buffers (PR 4) make a steady-state fetch step allocation-free, and
+// the payload pool cycles the wire messages released by the renderers.
 type ipScratch struct {
 	share  stepShare
 	ids    []int32 // collective merged-id / contiguous-range staging
 	displs []int64
-	raw    []byte // indexed-read staging
+	raw    []byte // indexed-read / contiguous-read staging
 	pool   pool.Pool[dataPayload]
 	lic    licState
+
+	// Decode-chain staging (quake.DecodeStepInto -> render.MagnitudeInto ->
+	// EnhanceTemporalInto -> QuantizeInto) plus the reused MPI-IO handles:
+	// file serves the current step, pfile the previous step when temporal
+	// enhancement is on, and ib is the indexed view both set by pointer so
+	// rebuilding the view boxes nothing. sub caches the group's collective
+	// sub-communicator per world communicator (an input rank serves one
+	// group, so one cached entry suffices).
+	file, pfile mpiio.File
+	ib          mpiio.IndexedBlock
+	vec, mag    []float32
+	pvec, pmag  []float32
+	q           []uint8
+	praw        []byte
+	sub         *mpi.Comm
+	subParent   *mpi.Comm // world comm sub was built from (invalidates across runs)
 }
 
 // rendererScratch is one renderer's reusable staging: per-local-block
@@ -129,10 +149,15 @@ type rendererScratch struct {
 	out      rendered
 	comp     *compositor.CompositeScratch
 	strips   pool.Pool[stripPayload]
+
+	// pool is this renderer rank's persistent worker pool: the projection
+	// and tile fan-outs of every frame dispatch on it instead of spawning
+	// goroutines (PR 4).
+	pool *workers.Pool
 }
 
 // outputScratch is one output rank's reusable staging (the LIC stretch
-// target; assembled frames are the product and stay per-step allocations).
+// target; assembled frames come from the workload's frame ring).
 type outputScratch struct {
 	stretch img.Image
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/img"
 	"repro/internal/pool"
 	"repro/internal/quadtree"
+	"repro/internal/workers"
 )
 
 // Config controls the LIC computation.
@@ -44,6 +45,26 @@ type Scratch struct {
 	noiseSeed int64
 	noiseOK   bool
 	out       Image
+
+	// Pool, when set, dispatches the row-band convolution fan-out on a
+	// persistent worker pool instead of spawning goroutines every frame;
+	// the band closure is bound once to the scratch, so a steady-state
+	// parallel frame allocates nothing. Like the scratch, the pool must
+	// belong to one rank.
+	Pool *workers.Pool
+
+	// band is the per-frame state of the prebound pooled closure.
+	band   bandJob
+	bandFn func(int)
+}
+
+// bandJob carries one frame's convolution arguments to the pooled band
+// workers without capturing them in a fresh closure.
+type bandJob struct {
+	field      *quadtree.Grid
+	noise, out *Image
+	cfg        Config
+	rows, h    int
 }
 
 // noiseFor returns the cached noise texture, regenerating it on a size or
@@ -63,9 +84,11 @@ func Compute(field *quadtree.Grid, w, h int, cfg Config) (*Image, error) {
 
 // ComputeWith is Compute with a reusable scratch: the noise texture and
 // output image come from scr, so a steady-state frame loop with Workers: 1
-// allocates nothing (the worker fan-out of the parallel path costs a few
-// goroutine allocations per frame either way). A nil scr allocates fresh
-// buffers, identical to Compute. Output is bit-identical for any scr.
+// allocates nothing. The parallel path spawns its row-band goroutines per
+// frame unless scr.Pool is set, in which case the bands dispatch on the
+// persistent pool and the steady state is allocation-free for any worker
+// count. A nil scr allocates fresh buffers, identical to Compute. Output
+// is bit-identical for any scr/pool combination.
 func ComputeWith(field *quadtree.Grid, w, h int, cfg Config, scr *Scratch) (*Image, error) {
 	if w <= 0 || h <= 0 {
 		return nil, fmt.Errorf("lic: invalid size %dx%d", w, h)
@@ -97,8 +120,35 @@ func ComputeWith(field *quadtree.Grid, w, h int, cfg Config, scr *Scratch) (*Ima
 		convolveRows(field, noise, out, 0, h, cfg)
 		return out, nil
 	}
+	if scr != nil && scr.Pool != nil {
+		scr.convolvePooled(field, noise, out, h, workers, cfg)
+		return out, nil
+	}
 	convolveParallel(field, noise, out, h, workers, cfg)
 	return out, nil
+}
+
+// convolvePooled is convolveParallel dispatching the same row bands on the
+// scratch's persistent pool. The band closure is created once per scratch
+// and reads its arguments from the scratch, so the steady state allocates
+// nothing; the band partitioning (and every pixel's arithmetic) is
+// identical to the spawn path.
+func (s *Scratch) convolvePooled(field *quadtree.Grid, noise *Image, out *Image, h, workers int, cfg Config) {
+	rows := (h + workers - 1) / workers
+	s.band = bandJob{field: field, noise: noise, out: out, cfg: cfg, rows: rows, h: h}
+	if s.bandFn == nil {
+		s.bandFn = func(i int) {
+			b := &s.band
+			lo := i * b.rows
+			hi := lo + b.rows
+			if hi > b.h {
+				hi = b.h
+			}
+			convolveRows(b.field, b.noise, b.out, lo, hi, b.cfg)
+		}
+	}
+	s.Pool.Run(workers, (h+rows-1)/rows, s.bandFn)
+	s.band = bandJob{} // do not pin the caller's field across frames
 }
 
 // convolveParallel fans the convolution out over row bands. Kept out of

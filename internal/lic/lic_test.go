@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/img"
 	"repro/internal/quadtree"
+	"repro/internal/workers"
 )
 
 // uniformField returns a constant-direction grid field.
@@ -310,6 +311,58 @@ func TestLICStepAllocFree(t *testing.T) {
 	licStep() // warm every buffer
 	if avg := testing.AllocsPerRun(15, licStep); avg != 0 {
 		t.Errorf("steady-state LIC step allocates %v, want 0", avg)
+	}
+}
+
+// TestLICStepPooledAllocFree extends the steady-state gate to the parallel
+// convolution: with a persistent worker pool on the scratch, the row-band
+// fan-out no longer spawns goroutines, so even a multi-worker LIC step is
+// allocation-free — and bit-identical to the serial path.
+func TestLICStepPooledAllocFree(t *testing.T) {
+	const size = 32
+	samples, tree := licStepSetup(t, 300, size)
+	var grid quadtree.Grid
+	if err := tree.ResampleInto(&grid, size, size); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{L: size / 12, Seed: 7, Phase: -1}
+	serial, err := Compute(&grid, size, size, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scr Scratch
+	scr.Pool = workers.New(4)
+	defer scr.Pool.Close()
+	cfg.Workers = 4
+	pooled, err := ComputeWith(&grid, size, size, cfg, &scr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Pix {
+		if serial.Pix[i] != pooled.Pix[i] {
+			t.Fatalf("pooled convolution differs from serial at pixel %d", i)
+		}
+	}
+	step := 0
+	licStep := func() {
+		step++
+		for i := range samples {
+			samples[i].VX = float64((step + i) % 11)
+			samples[i].VY = float64((step * i) % 7)
+		}
+		if err := tree.Rebuild(samples); err != nil {
+			t.Fatal(err)
+		}
+		if err := tree.ResampleInto(&grid, size, size); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ComputeWith(&grid, size, size, cfg, &scr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	licStep() // warm up (binds the band closure)
+	if avg := testing.AllocsPerRun(15, licStep); avg != 0 {
+		t.Errorf("steady-state pooled LIC step allocates %v, want 0", avg)
 	}
 }
 

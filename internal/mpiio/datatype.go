@@ -7,7 +7,7 @@ package mpiio
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Segment is a contiguous byte range of a file.
@@ -21,6 +21,9 @@ type Datatype interface {
 	// Segments returns the byte ranges covered by the type, relative to
 	// offset zero, sorted and non-overlapping.
 	Segments() []Segment
+	// AppendSegments appends the same ranges to dst and returns it — the
+	// allocation-free form File reuses across reads of an unchanged view.
+	AppendSegments(dst []Segment) []Segment
 	// Size returns the number of useful bytes (sum of segment lengths).
 	Size() int64
 }
@@ -37,6 +40,14 @@ func (c Contig) Segments() []Segment {
 		return nil
 	}
 	return []Segment{{0, int64(c.N) * c.ElemSize}}
+}
+
+// AppendSegments implements Datatype.
+func (c Contig) AppendSegments(dst []Segment) []Segment {
+	if c.N <= 0 {
+		return dst
+	}
+	return append(dst, Segment{0, int64(c.N) * c.ElemSize})
 }
 
 // Size implements Datatype.
@@ -60,14 +71,22 @@ type IndexedBlock struct {
 // Segments implements Datatype: sorted, with adjacent/overlapping runs
 // coalesced.
 func (t IndexedBlock) Segments() []Segment {
+	return t.AppendSegments(make([]Segment, 0, len(t.Displs)))
+}
+
+// AppendSegments implements Datatype: the per-displacement runs are staged
+// in dst's spare capacity and coalesced in place, so a caller reusing dst
+// across steps allocates nothing once it has grown to size.
+func (t IndexedBlock) AppendSegments(dst []Segment) []Segment {
 	if t.Blocklen <= 0 || len(t.Displs) == 0 {
-		return nil
+		return dst
 	}
-	segs := make([]Segment, 0, len(t.Displs))
+	base := len(dst)
 	for _, d := range t.Displs {
-		segs = append(segs, Segment{Off: d * t.ElemSize, Len: int64(t.Blocklen) * t.ElemSize})
+		dst = append(dst, Segment{Off: d * t.ElemSize, Len: int64(t.Blocklen) * t.ElemSize})
 	}
-	return Coalesce(segs)
+	tail := Coalesce(dst[base:])
+	return dst[:base+len(tail)]
 }
 
 // Size implements Datatype. Overlapping displacements are counted once
@@ -81,7 +100,9 @@ func (t IndexedBlock) Size() int64 {
 }
 
 // Coalesce sorts segments by offset, drops empty ones, and merges
-// overlapping or adjacent runs. The input slice may be reordered.
+// overlapping or adjacent runs. The result is a prefix of the input slice
+// (the work happens in place and allocates nothing); the input may be
+// reordered.
 func Coalesce(segs []Segment) []Segment {
 	nonEmpty := segs[:0]
 	for _, s := range segs {
@@ -93,7 +114,15 @@ func Coalesce(segs []Segment) []Segment {
 	if len(segs) == 0 {
 		return nil
 	}
-	sort.Slice(segs, func(i, j int) bool { return segs[i].Off < segs[j].Off })
+	slices.SortFunc(segs, func(a, b Segment) int {
+		switch {
+		case a.Off < b.Off:
+			return -1
+		case a.Off > b.Off:
+			return 1
+		}
+		return 0
+	})
 	out := segs[:1]
 	for _, s := range segs[1:] {
 		last := &out[len(out)-1]

@@ -21,8 +21,9 @@ type File struct {
 	name string
 	size int64
 
-	disp int64
-	view Datatype
+	disp    int64
+	view    Datatype
+	defView Contig // backing store for the default whole-file view
 
 	// SieveGap tunes data sieving; zero disables coalescing through holes.
 	SieveGap int64
@@ -36,6 +37,7 @@ type File struct {
 	viewFresh bool
 	plan      []Segment
 	scratch   []byte
+	prefix    []int64 // ReadAllInto assembly prefix sums, reused per call
 
 	// Stats for the I/O strategy experiments.
 	PhysReads    int   // physical read requests issued
@@ -47,11 +49,32 @@ type File struct {
 
 // Open opens the named object for reading.
 func Open(c *mpi.Comm, st pfs.Store, name string) (*File, error) {
-	size, err := st.Size(name)
-	if err != nil {
+	f := new(File)
+	if err := f.Reopen(c, st, name); err != nil {
 		return nil, err
 	}
-	return &File{c: c, st: st, name: name, size: size, view: Contig{N: int(size), ElemSize: 1}, SieveGap: DefaultSieveGap}, nil
+	return f, nil
+}
+
+// Reopen re-initializes an existing handle onto (possibly) another object,
+// as Open would, while keeping the handle's grown scratch buffers (view
+// segments, sieve plan, packed read buffer) — the steady-state form for a
+// timestep loop that opens one object per step, which allocates nothing
+// once the buffers have grown. The view resets to the whole file; the I/O
+// statistics keep accumulating across Reopens (they describe the handle,
+// not the object).
+func (f *File) Reopen(c *mpi.Comm, st pfs.Store, name string) error {
+	size, err := st.Size(name)
+	if err != nil {
+		return err
+	}
+	f.c, f.st, f.name, f.size = c, st, name, size
+	f.disp = 0
+	f.defView = Contig{N: int(size), ElemSize: 1}
+	f.view = &f.defView
+	f.SieveGap = DefaultSieveGap
+	f.viewFresh = false
+	return nil
 }
 
 // Size returns the file size in bytes.
@@ -72,7 +95,12 @@ func (f *File) segs() ([]Segment, error) {
 	if f.viewFresh {
 		return f.viewSegs, f.viewErr
 	}
-	f.viewSegs = shiftInto(f.viewSegs[:0], f.view.Segments(), f.disp)
+	f.viewSegs = f.view.AppendSegments(f.viewSegs[:0])
+	if f.disp != 0 {
+		for i := range f.viewSegs {
+			f.viewSegs[i].Off += f.disp
+		}
+	}
 	f.viewErr = validate(f.viewSegs)
 	if f.viewErr == nil {
 		for _, seg := range f.viewSegs {
@@ -191,17 +219,32 @@ func (f *File) ReadInto(dst []byte) (int, error) {
 // ReadContig reads [off, off+n) directly, bypassing the view. This is the
 // "independent contiguous read" strategy of Section 5.3.2.
 func (f *File) ReadContig(off, n int64) ([]byte, error) {
-	if off < 0 || off+n > f.size {
+	// Validate before sizing the buffer: an out-of-range request must fail
+	// fast, not attempt the allocation.
+	if off < 0 || n < 0 || off+n > f.size {
 		return nil, fmt.Errorf("mpiio: contiguous read [%d,%d) beyond EOF of %q", off, off+n, f.name)
 	}
 	buf := make([]byte, n)
-	if err := f.st.ReadAt(f.c, f.name, off, buf); err != nil {
+	if err := f.ReadContigInto(off, buf); err != nil {
 		return nil, err
+	}
+	return buf, nil
+}
+
+// ReadContigInto is ReadContig reading [off, off+len(dst)) into a caller
+// buffer — the allocation-free form of the per-timestep contiguous fetch.
+func (f *File) ReadContigInto(off int64, dst []byte) error {
+	n := int64(len(dst))
+	if off < 0 || off+n > f.size {
+		return fmt.Errorf("mpiio: contiguous read [%d,%d) beyond EOF of %q", off, off+n, f.name)
+	}
+	if err := f.st.ReadAt(f.c, f.name, off, dst); err != nil {
+		return err
 	}
 	f.PhysReads++
 	f.PhysBytes += n
 	f.UsefulBytes += n
-	return buf, nil
+	return nil
 }
 
 // collTagBase is the tag space for two-phase shuffles; the caller passes a
@@ -220,10 +263,36 @@ type piece struct {
 // sieving and redistributes the pieces. Returns the useful bytes of this
 // rank's view, packed in view order.
 func (f *File) ReadAll(seq int) ([]byte, error) {
+	useful, err := f.ViewSize()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, useful)
+	if _, err := f.ReadAllInto(seq, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReadAllInto is ReadAll assembling the packed view bytes into dst (which
+// must hold ViewSize bytes) and returning the byte count, so a steady-state
+// collective fetch reuses the caller's staging buffer instead of allocating
+// the assembled view every step. The two-phase internals still stage the
+// aggregated physical reads in a per-call buffer: the pieces shuffled to
+// other ranks alias it, and their assembly on the receivers may outlive
+// this call.
+func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
 	c := f.c
 	mySegs, err := f.segs()
 	if err != nil {
-		return nil, err
+		return 0, err
+	}
+	var useful int64
+	for _, s := range mySegs {
+		useful += s.Len
+	}
+	if int64(len(dst)) < useful {
+		return 0, fmt.Errorf("mpiio: ReadAllInto buffer holds %d of %d view bytes", len(dst), useful)
 	}
 	// Phase 0: exchange request metadata.
 	metaBytes := int64(16 * len(mySegs))
@@ -245,7 +314,7 @@ func (f *File) ReadAll(seq int) ([]byte, error) {
 	}
 	tag := collTagBase + seq
 	if lo < 0 { // nobody wants anything
-		return []byte{}, nil
+		return 0, nil
 	}
 	// Phase 1: this rank aggregates the file range [myLo, myHi).
 	span := hi - lo
@@ -281,7 +350,7 @@ func (f *File) ReadAll(seq int) ([]byte, error) {
 	for _, p := range plan {
 		buf := packed[base : base+p.Len]
 		if err := f.st.ReadAt(f.c, f.name, p.Off, buf); err != nil {
-			return nil, err
+			return 0, err
 		}
 		f.PhysReads++
 		f.PhysBytes += p.Len
@@ -336,26 +405,28 @@ func (f *File) ReadAll(seq int) ([]byte, error) {
 	// Assemble into packed view order: prefix sums give each (sorted)
 	// segment's packed position, and each piece finds its containing
 	// segment by binary search.
-	prefix := make([]int64, len(mySegs)+1)
+	if cap(f.prefix) < len(mySegs)+1 {
+		f.prefix = make([]int64, len(mySegs)+1)
+	}
+	prefix := f.prefix[:len(mySegs)+1]
+	prefix[0] = 0
 	for i, s := range mySegs {
 		prefix[i+1] = prefix[i] + s.Len
 	}
-	useful := prefix[len(mySegs)]
-	out := make([]byte, useful)
 	filled := int64(0)
 	for _, pc := range mine {
 		si := findSegIdx(mySegs, pc.Off)
 		if si < 0 {
-			return nil, fmt.Errorf("mpiio: received stray piece at %d", pc.Off)
+			return 0, fmt.Errorf("mpiio: received stray piece at %d", pc.Off)
 		}
-		copy(out[prefix[si]+pc.Off-mySegs[si].Off:], pc.Data)
+		copy(dst[prefix[si]+pc.Off-mySegs[si].Off:], pc.Data)
 		filled += int64(len(pc.Data))
 	}
 	if filled != useful {
-		return nil, fmt.Errorf("mpiio: two-phase assembled %d of %d bytes", filled, useful)
+		return 0, fmt.Errorf("mpiio: two-phase assembled %d of %d bytes", filled, useful)
 	}
 	f.UsefulBytes += useful
-	return out, nil
+	return int(useful), nil
 }
 
 // clip returns the part of s inside [lo, hi).

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/octree"
 	"repro/internal/pfs"
+	"repro/internal/pool"
 )
 
 // Dataset naming: one static mesh object plus one node-data object per
@@ -144,13 +145,33 @@ func EncodeStep(vel []float32) []byte {
 	return out
 }
 
-// DecodeStep unpacks step-file bytes into float32s.
+// DecodeStep unpacks step-file bytes into float32s. The record length must
+// be a multiple of 4; DecodeStep panics otherwise — a truncated or corrupt
+// step object must not silently decode into a wrong frame. Pipeline code
+// uses DecodeStepInto, which surfaces the same condition as an error.
 func DecodeStep(raw []byte) []float32 {
-	out := make([]float32, len(raw)/4)
-	for i := range out {
-		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	out, err := DecodeStepInto(nil, raw)
+	if err != nil {
+		panic(err)
 	}
 	return out
+}
+
+// DecodeStepInto unpacks step-file bytes into dst, growing it as needed,
+// and returns the decoded slice. Buffer ownership: the result aliases dst's
+// backing array (when large enough) and is owned by the caller; raw is only
+// read. It returns an error when len(raw) is not a multiple of the float32
+// record size — the trailing bytes of a truncated or corrupt step object
+// must fail loudly instead of being dropped.
+func DecodeStepInto(dst []float32, raw []byte) ([]float32, error) {
+	if len(raw)%4 != 0 {
+		return nil, fmt.Errorf("quake: step record of %d bytes is not a whole number of float32s (corrupt or truncated step object)", len(raw))
+	}
+	dst = pool.Grow(dst, len(raw)/4)
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return dst, nil
 }
 
 // Field selects which node field a dataset stores. The paper visualizes

@@ -304,6 +304,54 @@ func TestEncodeDecodeStep(t *testing.T) {
 	}
 }
 
+// TestDecodeStepRejectsTruncatedRecord: a step object whose length is not
+// a whole number of float32 records used to decode silently (dropping the
+// trailing bytes and rendering a wrong frame); it must fail instead.
+func TestDecodeStepRejectsTruncatedRecord(t *testing.T) {
+	raw := EncodeStep([]float32{1, 2, 3})
+	if _, err := DecodeStepInto(nil, raw[:len(raw)-1]); err == nil {
+		t.Error("truncated record decoded without error")
+	}
+	if _, err := DecodeStepInto(nil, raw); err != nil {
+		t.Errorf("well-formed record rejected: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DecodeStep did not panic on a truncated record")
+		}
+	}()
+	DecodeStep(raw[:5])
+}
+
+// TestDecodeStepIntoReusesBuffer pins the Into contract: with a buffer of
+// sufficient capacity the decode is allocation-free and bit-identical to
+// the allocating path.
+func TestDecodeStepIntoReusesBuffer(t *testing.T) {
+	in := []float32{0, 1.5, -2.25, 3e-9, -1e9, 7}
+	raw := EncodeStep(in)
+	buf := make([]float32, len(in))
+	out, err := DecodeStepInto(buf, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &out[0] != &buf[0] {
+		t.Error("DecodeStepInto did not reuse the caller buffer")
+	}
+	ref := DecodeStep(raw)
+	for i := range ref {
+		if out[i] != ref[i] {
+			t.Errorf("into[%d] = %v, want %v", i, out[i], ref[i])
+		}
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		if _, err := DecodeStepInto(buf, raw); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Errorf("steady-state DecodeStepInto allocates %v, want 0", avg)
+	}
+}
+
 func TestReadMeshRejectsGarbage(t *testing.T) {
 	st := pfs.NewMemStore()
 	st.Write(MeshObject, []byte("not a mesh"))

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mesh"
 	"repro/internal/octree"
+	wpool "repro/internal/workers"
 )
 
 // BlockData is the render-ready form of one octree block at a chosen
@@ -172,6 +173,12 @@ func (b *BlockData) Gradient(p Vec3, cell int) Vec3 {
 // pool does) as long as Grow ran first.
 type ExtractScratch struct {
 	bds []*BlockData
+
+	// Pool, when set, is the persistent worker pool RenderParallelWith
+	// dispatches its extraction, casting and compositing fan-outs on
+	// instead of spawning goroutines every frame. Like the scratch itself
+	// it must belong to one rank (one frame in flight).
+	Pool *wpool.Pool
 }
 
 // Grow ensures the scratch has at least n slots. Call before filling slots

@@ -1,26 +1,60 @@
 package render
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/pool"
+)
+
+// This file is the fetch-side scalar preprocessing chain (magnitude ->
+// optional temporal enhancement -> normalization/quantization). Every
+// transform has two forms with an explicit buffer-ownership contract:
+//
+//   - The plain form (Magnitude, Quantize, ...) allocates a fresh output on
+//     every call. The caller owns the result outright and the inputs are
+//     only read. These are the retained reference paths.
+//   - The ...Into form writes into a caller-provided destination, growing it
+//     only when its capacity is insufficient, and returns the (possibly
+//     regrown) slice. The result aliases dst's backing array; the caller
+//     owns both and must not assume the input buffers are still needed by
+//     the transform after it returns. This is the steady-state path of the
+//     per-timestep fetch loop, which allocates nothing once the buffers have
+//     grown to size.
+//
+// Both forms are bit-identical for the same inputs (test-enforced).
 
 // Magnitude converts a 3-component vector node array into per-node
 // magnitudes (the scalar field the paper volume-renders).
 func Magnitude(vec []float32) []float32 {
+	return MagnitudeInto(nil, vec)
+}
+
+// MagnitudeInto is Magnitude writing into dst (grown as needed); the
+// returned slice aliases dst and must not alias vec.
+func MagnitudeInto(dst []float32, vec []float32) []float32 {
 	n := len(vec) / 3
-	out := make([]float32, n)
+	dst = pool.Grow(dst, n)
 	for i := 0; i < n; i++ {
 		x := float64(vec[3*i])
 		y := float64(vec[3*i+1])
 		z := float64(vec[3*i+2])
-		out[i] = float32(math.Sqrt(x*x + y*y + z*z))
+		dst[i] = float32(math.Sqrt(x*x + y*y + z*z))
 	}
-	return out
+	return dst
 }
 
 // Normalize maps values into [0,1] by the given range; lo==hi maps to 0.
 func Normalize(vals []float32, lo, hi float32) []float32 {
-	out := make([]float32, len(vals))
+	return NormalizeInto(nil, vals, lo, hi)
+}
+
+// NormalizeInto is Normalize writing into dst (grown as needed); dst may
+// alias vals (every element is read before it is written).
+func NormalizeInto(dst []float32, vals []float32, lo, hi float32) []float32 {
+	dst = pool.Grow(dst, len(vals))
 	if hi <= lo {
-		return out
+		clear(dst)
+		return dst
 	}
 	inv := 1 / (hi - lo)
 	for i, v := range vals {
@@ -30,9 +64,9 @@ func Normalize(vals []float32, lo, hi float32) []float32 {
 		} else if s > 1 {
 			s = 1
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
+	return dst
 }
 
 // MinMax returns the value range of the array.
@@ -56,28 +90,46 @@ func MinMax(vals []float32) (lo, hi float32) {
 // (Section 4.2): the value at each node is boosted by the local change from
 // the previous timestep, bringing out propagating wavefronts whose absolute
 // amplitude has decayed. cur and prev are node scalar arrays; gain scales
-// the temporal-difference term. prev may be nil (no enhancement).
+// the temporal-difference term. prev may be nil (no enhancement). The
+// result is always a fresh slice owned by the caller — including in the
+// no-enhancement cases, which used to return cur itself, letting a caller
+// that mutated the "copy" corrupt the source field.
 func EnhanceTemporal(cur, prev []float32, gain float32) []float32 {
+	return EnhanceTemporalInto(nil, cur, prev, gain)
+}
+
+// EnhanceTemporalInto is EnhanceTemporal writing into dst (grown as
+// needed). dst may alias cur (element i is read before it is written); when
+// prev is nil or gain is 0 the values are copied through unchanged, so the
+// result never shares storage with cur unless the caller passed it as dst.
+func EnhanceTemporalInto(dst, cur, prev []float32, gain float32) []float32 {
+	dst = pool.Grow(dst, len(cur))
 	if prev == nil || gain == 0 {
-		return cur
+		copy(dst, cur)
+		return dst
 	}
-	out := make([]float32, len(cur))
 	for i, v := range cur {
 		d := v - prev[i]
 		if d < 0 {
 			d = -d
 		}
-		out[i] = v + gain*d
+		dst[i] = v + gain*d
 	}
-	return out
+	return dst
 }
 
 // Quantize converts float32 samples to 8-bit using the given range — the
 // 32-bit -> 8-bit preprocessing the input processors perform.
 func Quantize(vals []float32, lo, hi float32) []uint8 {
-	out := make([]uint8, len(vals))
+	return QuantizeInto(nil, vals, lo, hi)
+}
+
+// QuantizeInto is Quantize writing into dst (grown as needed).
+func QuantizeInto(dst []uint8, vals []float32, lo, hi float32) []uint8 {
+	dst = pool.Grow(dst, len(vals))
 	if hi <= lo {
-		return out
+		clear(dst)
+		return dst
 	}
 	inv := 255 / (hi - lo)
 	for i, v := range vals {
@@ -87,16 +139,21 @@ func Quantize(vals []float32, lo, hi float32) []uint8 {
 		} else if s > 255 {
 			s = 255
 		}
-		out[i] = uint8(s + 0.5)
+		dst[i] = uint8(s + 0.5)
 	}
-	return out
+	return dst
 }
 
 // Dequantize maps 8-bit samples back into [0,1] scalars for rendering.
 func Dequantize(q []uint8) []float32 {
-	out := make([]float32, len(q))
+	return DequantizeInto(nil, q)
+}
+
+// DequantizeInto is Dequantize writing into dst (grown as needed).
+func DequantizeInto(dst []float32, q []uint8) []float32 {
+	dst = pool.Grow(dst, len(q))
 	for i, v := range q {
-		out[i] = float32(v) / 255
+		dst[i] = float32(v) / 255
 	}
-	return out
+	return dst
 }

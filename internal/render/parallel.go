@@ -14,7 +14,20 @@ import (
 	"repro/internal/img"
 	"repro/internal/mesh"
 	"repro/internal/octree"
+	wpool "repro/internal/workers"
 )
+
+// forEachWith runs fn(0..n-1) across `nw` workers of the persistent pool
+// p, falling back to forEach's per-call goroutine spawns when p is nil.
+// The pipeline passes each rank's pool so a steady-state frame pays channel
+// wakeups instead of goroutine spawns.
+func forEachWith(p *wpool.Pool, nw, n int, fn func(int)) {
+	if p != nil {
+		p.Run(nw, n, fn)
+		return
+	}
+	forEach(nw, n, fn)
+}
 
 // forEach runs fn(0..n-1) across a pool of `workers` goroutines, handing
 // out indices through an atomic counter (cheap dynamic load balancing).
@@ -145,6 +158,16 @@ func buildTiles(frags []*Fragment, rects []blockRect, workers int) []tileJob {
 // (the pool renders through a frozen private copy). Output is
 // pixel-identical to calling RenderBlock serially on each block.
 func (r *Renderer) RenderBlocks(bds []*BlockData, view *View, workers int) []*Fragment {
+	return r.RenderBlocksWith(bds, view, workers, nil)
+}
+
+// RenderBlocksWith is RenderBlocks dispatching its projection and tile
+// fan-outs on a persistent worker pool instead of spawning goroutines per
+// frame (nil pool spawns, identical to RenderBlocks). The pool must belong
+// to the calling rank — one pool must not serve two concurrent frames —
+// while the Renderer itself may be shared. Output is pixel-identical for
+// any pool/workers combination.
+func (r *Renderer) RenderBlocksWith(bds []*BlockData, view *View, workers int, wp *wpool.Pool) []*Fragment {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -162,7 +185,7 @@ func (r *Renderer) RenderBlocks(bds []*BlockData, view *View, workers int) []*Fr
 		return frags
 	}
 	rects := make([]blockRect, len(bds))
-	forEach(workers, len(bds), func(i int) {
+	forEachWith(wp, workers, len(bds), func(i int) {
 		if bds[i] == nil {
 			return
 		}
@@ -171,7 +194,7 @@ func (r *Renderer) RenderBlocks(bds []*BlockData, view *View, workers int) []*Fr
 		}
 	})
 	tiles := buildTiles(frags, rects, workers)
-	forEach(workers, len(tiles), func(k int) {
+	forEachWith(wp, workers, len(tiles), func(k int) {
 		tl := tiles[k]
 		var s sampler
 		s.reset(bds[tl.bi])
@@ -197,7 +220,10 @@ func RenderParallel(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel, le
 // allocations at steady state. A nil scratch extracts into fresh
 // allocations (identical to RenderParallel). The scratch's block data are
 // overwritten by the next frame, so at most one frame may be in flight per
-// scratch. Output is pixel-exact for any workers/scratch combination.
+// scratch. When scratch.Pool is set, the extraction, casting and strip-
+// compositing fan-outs dispatch on that persistent pool instead of
+// spawning goroutines per frame. Output is pixel-exact for any
+// workers/scratch/pool combination.
 func RenderParallelWith(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel, level uint8, view *View, workers int, scratch *ExtractScratch) (*img.Image, error) {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -220,12 +246,14 @@ func RenderParallelWith(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel
 		rank[bi] = vis
 	}
 	bds := make([]*BlockData, len(blocks))
+	var wp *wpool.Pool
 	if scratch != nil {
 		scratch.Grow(len(blocks)) // slots must exist before the fan-out
+		wp = scratch.Pool
 	}
 	var mu sync.Mutex
 	var firstErr error
-	forEach(workers, len(blocks), func(i int) {
+	forEachWith(wp, workers, len(blocks), func(i int) {
 		bd := &BlockData{}
 		if scratch != nil {
 			bd = scratch.Slot(i)
@@ -243,7 +271,7 @@ func RenderParallelWith(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	frags := rr.RenderBlocks(bds, view, workers)
+	frags := rr.RenderBlocksWith(bds, view, workers, wp)
 	kept := make([]*Fragment, 0, len(frags))
 	for i, f := range frags {
 		if f != nil {
@@ -251,7 +279,7 @@ func RenderParallelWith(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel
 			kept = append(kept, f)
 		}
 	}
-	out := compositeFragments(view.Width, view.Height, kept, workers)
+	out := compositeFragmentsWith(view.Width, view.Height, kept, workers, wp)
 	releaseFragments(kept)
 	return out, nil
 }

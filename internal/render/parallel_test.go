@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/img"
 	"repro/internal/mesh"
+	wpool "repro/internal/workers"
 )
 
 // waveField is a smooth non-trivial field covering the full TF range.
@@ -98,6 +99,34 @@ func TestRenderParallelPoolReuse(t *testing.T) {
 		}
 		if d := img.MaxAbsDiff(ref, im); d != 0 {
 			t.Fatalf("render %d differs after pool reuse: %g", i, d)
+		}
+	}
+}
+
+// TestRenderParallelPooledMatchesSerial extends the parity guarantee to
+// the persistent worker pool: dispatching the extraction/cast/composite
+// fan-outs on an ExtractScratch.Pool must reproduce RenderSerial
+// pixel-exactly (tolerance 0), across repeated frames on the same pool.
+func TestRenderParallelPooledMatchesSerial(t *testing.T) {
+	m := uniformMesh(3)
+	f := waveField(m)
+	rr := NewRenderer()
+	vs := DefaultView(56, 56)
+	want, err := RenderSerial(rr, m, f, 1, 3, &vs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scratch ExtractScratch
+	scratch.Pool = wpool.New(3)
+	defer scratch.Pool.Close()
+	for frame := 0; frame < 3; frame++ {
+		vp := DefaultView(56, 56)
+		got, err := RenderParallelWith(rr, m, f, 1, 3, &vp, 3, &scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := img.MaxAbsDiff(want, got); d != 0 {
+			t.Fatalf("frame %d: pooled render differs from serial (max abs %g)", frame, d)
 		}
 	}
 }

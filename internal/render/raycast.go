@@ -9,6 +9,7 @@ import (
 	"repro/internal/img"
 	"repro/internal/mesh"
 	"repro/internal/octree"
+	wpool "repro/internal/workers"
 )
 
 // Fragment is the partial image a rendering processor produces for one
@@ -311,6 +312,12 @@ const minStripRows = 64
 // compositeFragments composites with the given worker count (0 = NumCPU,
 // 1 = serial).
 func compositeFragments(w, h int, frags []*Fragment, workers int) *img.Image {
+	return compositeFragmentsWith(w, h, frags, workers, nil)
+}
+
+// compositeFragmentsWith is compositeFragments running the strip fan-out
+// on a persistent worker pool when one is supplied (nil spawns per call).
+func compositeFragmentsWith(w, h int, frags []*Fragment, nw int, wp *wpool.Pool) *img.Image {
 	ordered := make([]*Fragment, 0, len(frags))
 	for _, f := range frags {
 		if f != nil && f.Img != nil {
@@ -319,17 +326,29 @@ func compositeFragments(w, h int, frags []*Fragment, workers int) *img.Image {
 	}
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].VisRank < ordered[j].VisRank })
 	out := img.New(w, h)
-	if workers <= 0 {
-		workers = runtime.NumCPU()
+	if nw <= 0 {
+		nw = runtime.NumCPU()
 	}
-	if workers > h/minStripRows {
-		workers = h / minStripRows
+	if nw > h/minStripRows {
+		nw = h / minStripRows
 	}
-	if workers <= 1 {
+	if nw <= 1 {
 		compositeStrip(out, ordered, 0, h)
 		return out
 	}
-	band := (h + workers - 1) / workers
+	band := (h + nw - 1) / nw
+	if wp != nil {
+		bands := (h + band - 1) / band
+		wp.Run(nw, bands, func(i int) {
+			lo := i * band
+			hi := lo + band
+			if hi > h {
+				hi = h
+			}
+			compositeStrip(out, ordered, lo, hi)
+		})
+		return out
+	}
 	var wg sync.WaitGroup
 	for lo := 0; lo < h; lo += band {
 		hi := lo + band

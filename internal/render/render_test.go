@@ -314,9 +314,77 @@ func TestEnhanceTemporal(t *testing.T) {
 	if out[1] != 0.2 {
 		t.Errorf("unchanged value was modified: %v", out[1])
 	}
-	if got := EnhanceTemporal(cur, nil, 2); &got[0] != &cur[0] {
-		t.Error("nil prev should return cur unchanged")
+	// Ownership regression (PR 4): the no-enhancement cases must return a
+	// copy, never cur itself — a caller mutating the result used to corrupt
+	// the source field.
+	for _, tc := range []struct {
+		name string
+		prev []float32
+		gain float32
+	}{{"nil-prev", nil, 2}, {"zero-gain", prev, 0}} {
+		got := EnhanceTemporal(cur, tc.prev, tc.gain)
+		if &got[0] == &cur[0] {
+			t.Errorf("%s: result aliases cur", tc.name)
+		}
+		if got[0] != cur[0] || got[1] != cur[1] {
+			t.Errorf("%s: values changed without enhancement: %v", tc.name, got)
+		}
+		got[0] = 99
+		if cur[0] == 99 {
+			t.Errorf("%s: mutating the result corrupted cur", tc.name)
+		}
 	}
+}
+
+// TestIntoVariantsMatchAllocatingPaths pins the decode-chain Into variants
+// bit-exactly to the retained allocating reference paths, including the
+// in-place (dst aliases input) calls the fetch loop uses.
+func TestIntoVariantsMatchAllocatingPaths(t *testing.T) {
+	vec := make([]float32, 3*257)
+	for i := range vec {
+		vec[i] = float32(math.Sin(float64(i)*0.7)) * float32(i%13)
+	}
+	mag := Magnitude(vec)
+	magInto := MagnitudeInto(make([]float32, 1), vec)
+	prev := make([]float32, len(mag))
+	for i := range prev {
+		prev[i] = mag[i] * 0.8
+	}
+	checkF32 := func(name string, want, got []float32) {
+		t.Helper()
+		if len(want) != len(got) {
+			t.Fatalf("%s: len %d vs %d", name, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s[%d]: %v vs %v", name, i, want[i], got[i])
+			}
+		}
+	}
+	checkF32("magnitude", mag, magInto)
+	enh := EnhanceTemporal(mag, prev, 3)
+	enhInPlace := append([]float32(nil), mag...)
+	checkF32("enhance", enh, EnhanceTemporalInto(enhInPlace, enhInPlace, prev, 3))
+	lo, hi := MinMax(mag)
+	checkF32("normalize", Normalize(mag, lo, hi), NormalizeInto(nil, mag, lo, hi))
+	q := Quantize(enh, lo, hi)
+	qInto := QuantizeInto(make([]uint8, 4096), enh, lo, hi)
+	if len(q) != len(qInto) {
+		t.Fatalf("quantize len %d vs %d", len(q), len(qInto))
+	}
+	for i := range q {
+		if q[i] != qInto[i] {
+			t.Fatalf("quantize[%d]: %d vs %d", i, q[i], qInto[i])
+		}
+	}
+	// Degenerate range must clear a dirty reused buffer, not keep stale bytes.
+	dirty := QuantizeInto([]uint8{7, 7, 7}, []float32{1, 2, 3}, 5, 5)
+	for _, v := range dirty {
+		if v != 0 {
+			t.Fatalf("degenerate QuantizeInto left stale value %d", v)
+		}
+	}
+	checkF32("dequantize", Dequantize(q), DequantizeInto(make([]float32, 2), q))
 }
 
 func TestQuantizeRoundTrip(t *testing.T) {

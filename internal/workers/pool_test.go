@@ -1,0 +1,148 @@
+package workers
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		for _, w := range []int{-1, 0, 1, 2, 4, 9} {
+			hits := make([]int32, n)
+			p.Run(w, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d executed %d times", w, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestRunResultsVisibleToCaller(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	out := make([]int, 512)
+	for round := 0; round < 50; round++ {
+		p.Run(3, len(out), func(i int) { out[i] = round + i })
+		for i := range out {
+			if out[i] != round+i {
+				t.Fatalf("round %d: out[%d] = %d, fn writes not visible after Run", round, i, out[i])
+			}
+		}
+	}
+}
+
+func TestRunSerialInline(t *testing.T) {
+	// workers == 1 must not touch the pool goroutines: the tasks run on the
+	// calling goroutine in index order.
+	p := New(4)
+	defer p.Close()
+	var order []int
+	p.Run(1, 5, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestPoolSize(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	if p.Size() != 3 {
+		t.Errorf("Size = %d, want 3", p.Size())
+	}
+	d := New(0)
+	defer d.Close()
+	if d.Size() != runtime.NumCPU() {
+		t.Errorf("default Size = %d, want NumCPU %d", d.Size(), runtime.NumCPU())
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := New(2)
+	p.Run(2, 8, func(int) {})
+	p.Close()
+	p.Close() // second close (or GC cleanup after Close) must not panic
+}
+
+func TestDistinctPoolsRunConcurrently(t *testing.T) {
+	// One pool per rank is the usage contract; distinct pools must be able
+	// to dispatch at the same time (the renderer ranks do every frame).
+	const ranks = 4
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for r := 0; r < ranks; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := New(3)
+			defer p.Close()
+			for round := 0; round < 20; round++ {
+				p.Run(3, 100, func(int) { total.Add(1) })
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != ranks*20*100 {
+		t.Errorf("total executions = %d, want %d", got, ranks*20*100)
+	}
+}
+
+// TestWorkerPoolDispatchAllocFree is the PR 4 gate on the dispatch path: a
+// steady-state fan-out over a persistent pool allocates nothing (the
+// pre-PR-4 forEach paid `workers` goroutine spawns per frame).
+func TestWorkerPoolDispatchAllocFree(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	sink := make([]int64, 256)
+	fn := func(i int) { sink[i]++ }
+	dispatch := func() { p.Run(4, len(sink), fn) }
+	dispatch() // warm up
+	if avg := testing.AllocsPerRun(50, dispatch); avg != 0 {
+		t.Errorf("pool dispatch allocates %v per run, want 0", avg)
+	}
+}
+
+// BenchmarkPoolDispatch compares a steady-state pool dispatch against the
+// legacy spawn-per-call fan-out it replaced (identical atomic-counter load
+// balancing, fresh goroutines every call).
+func BenchmarkPoolDispatch(b *testing.B) {
+	const n, w = 256, 4
+	sink := make([]int64, n)
+	fn := func(i int) { sink[i]++ }
+	b.Run("pool", func(b *testing.B) {
+		p := New(w)
+		defer p.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			p.Run(w, n, fn)
+		}
+	})
+	b.Run("spawn", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			wg.Add(w)
+			for k := 0; k < w; k++ {
+				go func() {
+					defer wg.Done()
+					for {
+						j := int(next.Add(1)) - 1
+						if j >= n {
+							return
+						}
+						fn(j)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	})
+}
