@@ -1,12 +1,13 @@
 # Tier-1 verification plus the race detector and benchmarks in one place.
+# docs/ci.md documents what each gate pins and how to run them locally.
 #
-#   make check   # build + vet + test + race: what CI should run
-#   make ci      # check plus the perf regression gate (CSR SpMV speedup)
+#   make check   # build + vet + fmt + godoc lint + test + race: what CI should run
+#   make ci      # check plus the perf regression gates (REPRO_PERF_ASSERT)
 #   make bench   # paper-figure and hot-kernel benchmarks
 #   make fuzz    # short fuzz sessions for the datatype and RLE codecs
 GO ?= go
 
-.PHONY: build test race vet fmtcheck bench check ci fuzz
+.PHONY: build test race vet fmtcheck doccheck bench check ci fuzz
 
 build:
 	$(GO) build ./...
@@ -29,6 +30,13 @@ fmtcheck:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# doccheck fails (listing the offenders) if any exported identifier lacks
+# a doc comment, so the documented API surface (see ARCHITECTURE.md and
+# docs/ownership.md) cannot rot. cmd/doccheck documents exactly what is
+# checked.
+doccheck:
+	$(GO) run ./cmd/doccheck $(wildcard internal/*/) $(wildcard cmd/*/) $(wildcard examples/*/) .
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/render/
@@ -39,16 +47,19 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/core/
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/workers/
 
-check: build vet fmtcheck test race
+check: build vet fmtcheck doccheck test race
 
 # ci is what the GitHub Actions workflow runs: the full functional gates
 # (the allocation-regression, golden-pipeline, fuzz-seed and equivalence
-# suites of PRs 2-3) plus three extras. The wall-clock speedup gates (CSR
-# SpMV, flat/RLE-stream compositeStrip) only assert when
+# suites of PRs 2-5) plus three extras. The wall-clock speedup gates (CSR
+# SpMV, flat/RLE-stream compositeStrip, decode chain) only assert when
 # REPRO_PERF_ASSERT=1 so plain `go test ./...` stays immune to scheduler
 # noise; the named alloc-gate pass restates the steady-state zero-
-# allocation guarantees loudly; and the -benchtime 1x smoke run compiles
-# and executes every hot-kernel benchmark once so they cannot bit-rot.
+# allocation guarantees loudly (including PR 5's collective-read and
+# rendered-frame gates, TestReadAllSteadyStateAllocFree and
+# TestRenderFrameAllocFree); and the -benchtime 1x smoke run compiles and
+# executes every hot-kernel benchmark once so they cannot bit-rot. See
+# docs/ci.md for the full gate catalog.
 ci: check
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestSpMVSpeedupGate' -v ./internal/quake/
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestCompositeStripSpeedupGate' -v ./internal/compositor/

@@ -97,7 +97,9 @@ func getSwap(pl *pool.Pool[swapPayload], w, h int) *swapPayload {
 // ReleaseStrip), the local clip buffers, and the binary-swap ping-pong
 // images. A scratch belongs to one rank; two compositing calls on the same
 // scratch must not overlap. With a scratch, DirectSendWith / SLICWith /
-// BinarySwapWith allocate nothing at steady state.
+// BinarySwapWith allocate nothing at steady state. Buffer ownership
+// follows docs/ownership.md: wire payloads and strips are pooled on the
+// sending rank and released by whichever rank consumes them.
 type CompositeScratch struct {
 	payloads pool.Pool[wirePayload]
 	strips   pool.Pool[img.Image]

@@ -25,6 +25,7 @@ const (
 	ReadIndependent
 )
 
+// String names the strategy for experiment tables and logs.
 func (s ReadStrategy) String() string {
 	switch s {
 	case ReadCollective:
@@ -39,10 +40,13 @@ func (s ReadStrategy) String() string {
 type CompositorKind int
 
 const (
+	// CompositeSLIC is the paper's scheduled SLIC compositor.
 	CompositeSLIC CompositorKind = iota
+	// CompositeDirectSend is the unscheduled direct-send baseline.
 	CompositeDirectSend
 )
 
+// String names the compositor for experiment tables and logs.
 func (k CompositorKind) String() string {
 	if k == CompositeSLIC {
 		return "slic"

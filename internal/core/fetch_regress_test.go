@@ -58,7 +58,9 @@ func newFetchStore(tb testing.TB, n int) pfs.Store {
 // TestFetchStepAllocFree is the PR 4 acceptance gate for the fetch side:
 // a steady-state input-rank Fetch step — open, read, decode, magnitude,
 // (optional temporal enhancement,) quantize, scatter — allocates nothing
-// for the independent read strategies once every buffer has warmed up.
+// once every buffer has warmed up. PR 5 extends it to the collective
+// strategy, whose two-phase read now stages through the epoch-scoped
+// CollectiveScratch.
 func TestFetchStepAllocFree(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation gates are skipped under the race detector")
@@ -71,6 +73,7 @@ func TestFetchStepAllocFree(t *testing.T) {
 		{"contiguous", nil},
 		{"adaptive", func(o *Options) { o.AdaptiveFetch = true }},
 		{"contiguous-enhanced", func(o *Options) { o.Enhancement = true }},
+		{"collective", func(o *Options) { o.ReadStrategy = ReadCollective }},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			w, l := fetchWorkload(t, steps, tc.mod)

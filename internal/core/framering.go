@@ -17,10 +17,11 @@ import (
 // (the batch examples read every frame after the run) simply grows the
 // ring's working set to the step count, exactly the pre-ring behavior.
 //
-// Ownership contract: Acquire transfers the canvas to the caller; Release
-// transfers it back, after which the previous holder must not touch it.
-// The ring is mutex-guarded, so producer (output rank) and consumer may be
-// different goroutines.
+// Ownership contract (see docs/ownership.md): Acquire transfers the
+// canvas to the caller; Release transfers it back, after which the
+// previous holder must not touch it — Frame() results are borrows from
+// this ring. The ring is mutex-guarded, so producer (output rank) and
+// consumer may be different goroutines.
 type FrameRing struct {
 	mu   sync.Mutex
 	free []*img.Image

@@ -52,7 +52,8 @@ type RealWorkload struct {
 	// within blockNodeIDs[bi] — the flat replacement for the old per-block
 	// node-id map, so the per-frame value scatter does no map lookups.
 	blockCornerLocal [][][8]int32
-	ipBlocks         [][]int // part -> blocks (collective read ownership)
+	ipBlocks         [][]int   // part -> blocks (collective read ownership)
+	collIDs          [][]int32 // part -> merged sorted node ids (collective fetch)
 
 	allNeeded []int32 // union of node ids at the render level, sorted
 
@@ -229,12 +230,22 @@ func NewRealWorkload(l Layout, opts Options, store pfs.Store) (*RealWorkload, er
 		w.rblocks[best] = append(w.rblocks[best], bi)
 	}
 
-	// Collective-read ownership: split renderers among the m group parts.
+	// Collective-read ownership: split renderers among the m group parts,
+	// and precompute each part's merged sorted node-id set — it is static,
+	// so the per-step collective fetch does no merge or sort.
 	mParts := l.IPsPerGroup
 	w.ipBlocks = make([][]int, mParts)
 	for bi := range w.blocks {
 		p := w.owner[bi] % mParts
 		w.ipBlocks[p] = append(w.ipBlocks[p], bi)
+	}
+	w.collIDs = make([][]int32, mParts)
+	for p, blocks := range w.ipBlocks {
+		var ids []int32
+		for _, bi := range blocks {
+			ids = append(ids, w.blockNodeIDs[bi]...)
+		}
+		w.collIDs[p] = dedupSorted(ids)
 	}
 
 	// Per-rank reuse scratches (PR 3). rblockPos flattens the block->slot
@@ -273,6 +284,7 @@ func NewRealWorkload(l Layout, opts Options, store pfs.Store) (*RealWorkload, er
 		if rw := w.rankWorkers(); rw > 1 {
 			rs.pool = workers.New(rw)
 		}
+		rs.rscr.Pool = rs.pool
 		w.rendScr[r] = rs
 	}
 	w.outScr = make([]*outputScratch, l.Outputs)
@@ -493,6 +505,7 @@ func (w *RealWorkload) Close() {
 		if rs.pool != nil {
 			rs.pool.Close()
 			rs.pool = nil
+			rs.rscr.Pool = nil
 		}
 	}
 	for _, scr := range w.ipScr {
@@ -607,15 +620,11 @@ func (w *RealWorkload) Fetch(c *mpi.Comm, t, part, m int) (any, error) {
 	switch {
 	case w.opts.ReadStrategy == ReadCollective:
 		// The group's m IPs read collectively: part p fetches the merged
-		// node set of the renderers it owns. The collective runs on the
-		// group's sub-communicator, built once per run and reused across
-		// this rank's timesteps (an input rank always serves one group).
-		ids := scr.ids[:0]
-		for _, bi := range w.ipBlocks[part] {
-			ids = append(ids, w.blockNodeIDs[bi]...)
-		}
-		ids = dedupSorted(ids)
-		scr.ids = ids
+		// node set of the renderers it owns (precomputed — the set is
+		// static). The collective runs on the group's sub-communicator,
+		// built once per run and reused across this rank's timesteps (an
+		// input rank always serves one group).
+		ids := w.collIDs[part]
 		if scr.sub == nil || scr.subParent != c {
 			g := t % w.layout.Groups
 			scr.sub = c.Sub(w.layout.GroupRanks(g), g)
@@ -946,7 +955,7 @@ func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any,
 	out := &rs.out
 	out.frags = out.frags[:0]
 	view := w.opts.View
-	frags := w.rend.RenderBlocksWith(rs.bds, &view, workers, rs.pool)
+	frags := w.rend.RenderBlocksWith(rs.bds, &view, workers, &rs.rscr)
 	for i, frag := range frags {
 		if frag != nil {
 			frag.VisRank = w.visRank[mine[i]]

@@ -154,6 +154,11 @@ type rendererScratch struct {
 	// and tile fan-outs of every frame dispatch on it instead of spawning
 	// goroutines (PR 4).
 	pool *workers.Pool
+
+	// rscr owns the per-frame fragment/rect/tile staging of this rank's
+	// RenderBlocksWith (PR 5); the rendered fragments are borrows from it,
+	// released back by Composite once everything is on the wire.
+	rscr render.RenderScratch
 }
 
 // outputScratch is one output rank's reusable staging (the LIC stretch

@@ -39,6 +39,11 @@ type File struct {
 	scratch   []byte
 	prefix    []int64 // ReadAllInto assembly prefix sums, reused per call
 
+	// coll is the epoch-scoped collective-read staging (see
+	// CollectiveScratch), created lazily by the first ReadAllInto and kept
+	// across Reopens like the other steady-state buffers.
+	coll *CollectiveScratch
+
 	// Stats for the I/O strategy experiments.
 	PhysReads    int   // physical read requests issued
 	PhysBytes    int64 // bytes physically read (including sieved holes)
@@ -274,14 +279,15 @@ func (f *File) ReadAll(seq int) ([]byte, error) {
 	return out, nil
 }
 
-// ReadAllInto is ReadAll assembling the packed view bytes into dst (which
-// must hold ViewSize bytes) and returning the byte count, so a steady-state
-// collective fetch reuses the caller's staging buffer instead of allocating
-// the assembled view every step. The two-phase internals still stage the
-// aggregated physical reads in a per-call buffer: the pieces shuffled to
-// other ranks alias it, and their assembly on the receivers may outlive
-// this call.
-func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
+// readAllIntoPerCall is the retained pre-epoch two-phase implementation:
+// every call stages the aggregated physical reads and the shuffled pieces
+// in fresh per-call buffers, so pieces whose assembly on a receiver
+// outlives this call can never be overwritten. It is the bit-exactness and
+// accounting reference the epoch-scoped ReadAllInto is tested against.
+// Like ReadAllInto, every rank of the communicator must call it in the
+// same order with the same seq; the two implementations exchange metadata
+// differently and must not be mixed within one collective.
+func (f *File) readAllIntoPerCall(seq int, dst []byte) (int, error) {
 	c := f.c
 	mySegs, err := f.segs()
 	if err != nil {

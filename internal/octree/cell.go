@@ -13,6 +13,7 @@ type Cell struct {
 // Root is the whole-domain cell.
 var Root = Cell{}
 
+// String renders the cell as level and anchor grid coordinates.
 func (c Cell) String() string {
 	return fmt.Sprintf("L%d(%d,%d,%d)", c.Level, c.X, c.Y, c.Z)
 }

@@ -180,10 +180,13 @@ func DecodeStepInto(dst []float32, raw []byte) ([]float32, error) {
 type Field int
 
 const (
+	// FieldVelocity selects the per-node velocity vectors.
 	FieldVelocity Field = iota
+	// FieldDisplacement selects the per-node displacement vectors.
 	FieldDisplacement
 )
 
+// String names the field as it appears in object names.
 func (f Field) String() string {
 	if f == FieldDisplacement {
 		return "displacement"

@@ -171,6 +171,14 @@ func (b *BlockData) Gradient(p Vec3, cell int) Vec3 {
 // flight — the returned BlockData are only valid until the next extraction
 // into the same slot. Distinct slots may be filled concurrently (the worker
 // pool does) as long as Grow ran first.
+//
+// RenderParallelWith additionally stages a whole frame's working state
+// here: the cached block partition and visibility ranks (recomputed when
+// the mesh, block level or view direction changes), the frozen camera
+// copy, the prebound extraction closure, and the embedded RenderScratch
+// that owns the fragment and compositing buffers — which is what makes a
+// steady-state fixed-view frame loop allocation-free end to end. Buffer
+// ownership follows docs/ownership.md.
 type ExtractScratch struct {
 	bds []*BlockData
 
@@ -179,6 +187,27 @@ type ExtractScratch struct {
 	// instead of spawning goroutines every frame. Like the scratch itself
 	// it must belong to one rank (one frame in flight).
 	Pool *wpool.Pool
+
+	// render owns the per-frame fragment/tile/strip staging; its Pool is
+	// synced from Pool at the top of every RenderParallelWith frame.
+	render RenderScratch
+
+	// Cached static frame tables and their cache key (see frameTables).
+	tree     *octree.Tree
+	tblLevel uint8
+	dir      Vec3
+	tablesOK bool
+	blocks   []octree.Block
+	rank     []int
+
+	// Per-frame staging: the frozen camera, the extraction fan-out job and
+	// its prebound closure, the per-block output list and the kept
+	// (visible) fragment list.
+	view   View
+	exJob  extractJob
+	exFn   func(int)
+	bdsOut []*BlockData
+	kept   []*Fragment
 }
 
 // Grow ensures the scratch has at least n slots. Call before filling slots

@@ -14,6 +14,7 @@ import (
 	"repro/internal/img"
 	"repro/internal/mesh"
 	"repro/internal/octree"
+	"repro/internal/pool"
 	wpool "repro/internal/workers"
 )
 
@@ -76,19 +77,28 @@ func newPooledImage(w, h int) *img.Image {
 	return img.New(w, h)
 }
 
-// ReleaseFragments returns fragment pixel buffers to the pool. Only
-// callers that own the fragments outright may release — after compositing
-// has copied or encoded everything it needs — and the fragments are
-// unusable afterwards. The distributed pipeline calls this at the end of
-// each Composite, closing the render-side allocation loop.
+// ReleaseFragments returns fragments to their producers. Only callers that
+// own the fragments outright may release — after compositing has copied or
+// encoded everything it needs — and the fragments are unusable afterwards.
+// Scratch-produced fragments go back (struct, image and pixel buffer) to
+// the producing RenderScratch's pool; unpooled fragments recycle their
+// pixel buffer through the package-global pool. The distributed pipeline
+// calls this at the end of each Composite, closing the render-side
+// allocation loop — the consumer release is the lifetime signal that lets
+// a pipelined frame outlive its render call (see docs/ownership.md).
 func ReleaseFragments(frags []*Fragment) { releaseFragments(frags) }
 
-// releaseFragments returns fragment pixel buffers to the pool. Only
-// callers that own the fragments outright (RenderParallel, after
-// compositing) may release; the fragments are unusable afterwards.
+// releaseFragments returns fragments to their producers. Only callers that
+// own the fragments outright (RenderParallel, after compositing) may
+// release; the fragments are unusable afterwards.
 func releaseFragments(frags []*Fragment) {
 	for _, f := range frags {
-		if f != nil && f.Img != nil {
+		switch {
+		case f == nil:
+		case f.owner != nil:
+			f.Img = nil
+			f.owner.Put(f)
+		case f.Img != nil:
 			fragPool.Put(f.Img.Pix[:0])
 			f.Img = nil
 		}
@@ -101,11 +111,11 @@ type tileJob struct {
 	yLo, yHi int
 }
 
-// buildTiles splits the projected rectangles of the visible fragments into
-// row bands so the tile count comfortably exceeds the worker count —
-// block-level parallelism alone would let one dominant block serialize the
-// frame.
-func buildTiles(frags []*Fragment, rects []blockRect, workers int) []tileJob {
+// buildTilesInto appends the tile list to dst: the projected rectangles of
+// the visible fragments split into row bands so the tile count comfortably
+// exceeds the worker count — block-level parallelism alone would let one
+// dominant block serialize the frame.
+func buildTilesInto(dst []tileJob, frags []*Fragment, rects []blockRect, workers int) []tileJob {
 	nvis := 0
 	for _, f := range frags {
 		if f != nil {
@@ -113,13 +123,13 @@ func buildTiles(frags []*Fragment, rects []blockRect, workers int) []tileJob {
 		}
 	}
 	if nvis == 0 {
-		return nil
+		return dst
 	}
 	bandsPer := 1
 	if nvis < 4*workers {
 		bandsPer = (4*workers + nvis - 1) / nvis
 	}
-	var tiles []tileJob
+	tiles := dst
 	for bi, f := range frags {
 		if f == nil {
 			continue
@@ -161,45 +171,101 @@ func (r *Renderer) RenderBlocks(bds []*BlockData, view *View, workers int) []*Fr
 	return r.RenderBlocksWith(bds, view, workers, nil)
 }
 
-// RenderBlocksWith is RenderBlocks dispatching its projection and tile
-// fan-outs on a persistent worker pool instead of spawning goroutines per
-// frame (nil pool spawns, identical to RenderBlocks). The pool must belong
-// to the calling rank — one pool must not serve two concurrent frames —
-// while the Renderer itself may be shared. Output is pixel-identical for
-// any pool/workers combination.
-func (r *Renderer) RenderBlocksWith(bds []*BlockData, view *View, workers int, wp *wpool.Pool) []*Fragment {
+// RenderBlocksWith is RenderBlocks rendering through a RenderScratch: the
+// per-frame fragment/rect/tile tables, the Fragment structs and their
+// pixel buffers, and the fan-out closures all come from the scratch, and
+// the projection and tile fan-outs dispatch on the scratch's persistent
+// worker pool when one is set — a steady-state frame allocates nothing. A
+// nil scratch allocates per call and spawns goroutines, identical to
+// RenderBlocks.
+//
+// The scratch must belong to the calling rank and serves one frame at a
+// time: the returned slice is a borrow valid until the next call, and the
+// fragments stay live until their consumer returns them to the scratch
+// with ReleaseFragments (see docs/ownership.md). The Renderer itself may
+// be shared across ranks. Output is pixel-identical for any
+// scratch/workers combination.
+func (r *Renderer) RenderBlocksWith(bds []*BlockData, view *View, workers int, rs *RenderScratch) []*Fragment {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	r.Prepare()
-	pv := *view
-	pv.Prepare()
-	view = &pv
-	frags := make([]*Fragment, len(bds))
+	var wp *wpool.Pool
+	var frags []*Fragment
+	var rects []blockRect
+	if rs != nil {
+		wp = rs.Pool
+		rs.view = *view
+		rs.view.Prepare()
+		view = &rs.view
+		rs.frags = pool.Grow(rs.frags, len(bds))
+		frags = rs.frags
+		clear(frags)
+		rs.rects = pool.Grow(rs.rects, len(bds))
+		rects = rs.rects
+	} else {
+		pv := *view
+		pv.Prepare()
+		view = &pv
+		frags = make([]*Fragment, len(bds))
+		rects = make([]blockRect, len(bds))
+	}
 	if workers == 1 {
 		for i, bd := range bds {
 			if bd != nil {
-				frags[i] = r.renderBlockSerial(bd, view)
+				frags[i] = r.renderBlockSerialWith(bd, view, rs)
 			}
 		}
 		return frags
 	}
-	rects := make([]blockRect, len(bds))
-	forEachWith(wp, workers, len(bds), func(i int) {
-		if bds[i] == nil {
-			return
+	if rs == nil {
+		forEach(workers, len(bds), func(i int) {
+			if bds[i] == nil {
+				return
+			}
+			if frag, g, ok := r.projectBlock(bds[i], view); ok {
+				frags[i], rects[i] = frag, g
+			}
+		})
+		tiles := buildTilesInto(nil, frags, rects, workers)
+		forEach(workers, len(tiles), func(k int) {
+			tl := tiles[k]
+			var s sampler
+			s.reset(bds[tl.bi])
+			r.castRows(bds[tl.bi], view, frags[tl.bi], rects[tl.bi], tl.yLo, tl.yHi, &s)
+		})
+		return frags
+	}
+	// Scratch path: the fan-out closures are bound once to the scratch and
+	// read their arguments from rs.job, so a steady-state frame allocates
+	// neither closures nor tables. The partitioning and arithmetic are
+	// identical to the allocating path above.
+	rs.job = renderJob{r: r, bds: bds, view: view, frags: frags, rects: rects}
+	if rs.projFn == nil {
+		rs.projFn = func(i int) {
+			j := &rs.job
+			if j.bds[i] == nil {
+				return
+			}
+			if frag, g, ok := j.r.projectBlockWith(j.bds[i], j.view, rs); ok {
+				j.frags[i], j.rects[i] = frag, g
+			}
 		}
-		if frag, g, ok := r.projectBlock(bds[i], view); ok {
-			frags[i], rects[i] = frag, g
+	}
+	forEachWith(wp, workers, len(bds), rs.projFn)
+	rs.tiles = buildTilesInto(rs.tiles[:0], frags, rects, workers)
+	rs.job.tiles = rs.tiles
+	if rs.castFn == nil {
+		rs.castFn = func(k int) {
+			j := &rs.job
+			tl := j.tiles[k]
+			var s sampler
+			s.reset(j.bds[tl.bi])
+			j.r.castRows(j.bds[tl.bi], j.view, j.frags[tl.bi], j.rects[tl.bi], tl.yLo, tl.yHi, &s)
 		}
-	})
-	tiles := buildTiles(frags, rects, workers)
-	forEachWith(wp, workers, len(tiles), func(k int) {
-		tl := tiles[k]
-		var s sampler
-		s.reset(bds[tl.bi])
-		r.castRows(bds[tl.bi], view, frags[tl.bi], rects[tl.bi], tl.yLo, tl.yHi, &s)
-	})
+	}
+	forEachWith(wp, workers, len(rs.tiles), rs.castFn)
+	rs.job = renderJob{} // do not pin the caller's blocks across frames
 	return frags
 }
 
@@ -215,14 +281,20 @@ func RenderParallel(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel, le
 }
 
 // RenderParallelWith is RenderParallel with a reusable extraction scratch
-// for frame loops: block i is extracted into scratch slot i, so rendering
-// the same mesh partition every frame does zero map or block-data
-// allocations at steady state. A nil scratch extracts into fresh
-// allocations (identical to RenderParallel). The scratch's block data are
-// overwritten by the next frame, so at most one frame may be in flight per
-// scratch. When scratch.Pool is set, the extraction, casting and strip-
-// compositing fan-outs dispatch on that persistent pool instead of
-// spawning goroutines per frame. Output is pixel-exact for any
+// for frame loops: block i is extracted into scratch slot i, the block
+// partition and visibility ranks are cached per (mesh, level, view
+// direction), and the render/composite stages run through the scratch's
+// embedded RenderScratch — so rendering the same mesh partition from a
+// fixed view every frame allocates nothing at steady state. A nil scratch
+// extracts into fresh allocations (identical to RenderParallel).
+//
+// The scratch's block data, fragments and output canvas are overwritten by
+// the next frame, so at most one frame may be in flight per scratch — the
+// returned image is a borrow, valid until the next call with the same
+// scratch (nil-scratch calls return a fresh image the caller owns; see
+// docs/ownership.md). When scratch.Pool is set, the extraction, casting
+// and strip-compositing fan-outs dispatch on that persistent pool instead
+// of spawning goroutines per frame. Output is pixel-exact for any
 // workers/scratch/pool combination.
 func RenderParallelWith(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel, level uint8, view *View, workers int, scratch *ExtractScratch) (*img.Image, error) {
 	if workers <= 0 {
@@ -232,32 +304,92 @@ func RenderParallelWith(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel
 		return RenderSerial(rr, m, scalar, blockLevel, level, view)
 	}
 	rr.Prepare()
-	pv := *view
-	pv.Prepare()
-	view = &pv
-	blocks := m.Tree.Blocks(blockLevel)
-	cells := make([]octree.Cell, len(blocks))
-	for i, b := range blocks {
-		cells[i] = b.Root
-	}
-	order := octree.VisibilityOrder(cells, view.ViewDir())
-	rank := make([]int, len(blocks))
-	for vis, bi := range order {
-		rank[bi] = vis
-	}
-	bds := make([]*BlockData, len(blocks))
-	var wp *wpool.Pool
+	var rs *RenderScratch
 	if scratch != nil {
+		scratch.view = *view
+		scratch.view.Prepare()
+		view = &scratch.view
+		scratch.render.Pool = scratch.Pool
+		rs = &scratch.render
+	} else {
+		pv := *view
+		pv.Prepare()
+		view = &pv
+	}
+	blocks, rank := frameTables(m, blockLevel, view.ViewDir(), scratch)
+	var bds []*BlockData
+	var wp *wpool.Pool
+	if scratch == nil {
+		fresh, err := extractFresh(m, scalar, blocks, level, workers)
+		if err != nil {
+			return nil, err
+		}
+		bds = fresh
+	} else {
 		scratch.Grow(len(blocks)) // slots must exist before the fan-out
 		wp = scratch.Pool
+		scratch.bdsOut = pool.Grow(scratch.bdsOut, len(blocks))
+		bds = scratch.bdsOut
+		clear(bds)
+		// The extraction closure is bound once to the scratch; its per-
+		// frame arguments travel through exJob (the mutex lives there too,
+		// reset-free: it is always left unlocked).
+		j := &scratch.exJob
+		j.m, j.scalar, j.blocks, j.level, j.scratch, j.bds = m, scalar, blocks, level, scratch, bds
+		j.firstErr = nil
+		if scratch.exFn == nil {
+			scratch.exFn = func(i int) {
+				j := &scratch.exJob
+				bd := j.scratch.Slot(i)
+				if err := ExtractBlockDataInto(bd, j.m, j.scalar, j.blocks[i], j.level); err != nil {
+					j.mu.Lock()
+					if j.firstErr == nil {
+						j.firstErr = err
+					}
+					j.mu.Unlock()
+					return
+				}
+				j.bds[i] = bd
+			}
+		}
+		forEachWith(wp, workers, len(blocks), scratch.exFn)
+		err := j.firstErr
+		j.m, j.scalar, j.blocks, j.scratch, j.bds = nil, nil, nil, nil, nil
+		if err != nil {
+			return nil, err
+		}
 	}
+	frags := rr.RenderBlocksWith(bds, view, workers, rs)
+	var kept []*Fragment
+	if scratch != nil {
+		kept = scratch.kept[:0]
+	} else {
+		kept = make([]*Fragment, 0, len(frags))
+	}
+	for i, f := range frags {
+		if f != nil {
+			f.VisRank = rank[i]
+			kept = append(kept, f)
+		}
+	}
+	if scratch != nil {
+		scratch.kept = kept
+	}
+	out := compositeFragmentsWith(view.Width, view.Height, kept, workers, rs)
+	releaseFragments(kept)
+	return out, nil
+}
+
+// extractFresh extracts every block into fresh allocations — the
+// nil-scratch path of RenderParallelWith. Kept out of RenderParallelWith
+// so its fan-out closure does not force the scratch path's block list to
+// the heap (the steady-state scratch frame is allocation-free).
+func extractFresh(m *mesh.Mesh, scalar []float32, blocks []octree.Block, level uint8, workers int) ([]*BlockData, error) {
+	bds := make([]*BlockData, len(blocks))
 	var mu sync.Mutex
 	var firstErr error
-	forEachWith(wp, workers, len(blocks), func(i int) {
+	forEach(workers, len(blocks), func(i int) {
 		bd := &BlockData{}
-		if scratch != nil {
-			bd = scratch.Slot(i)
-		}
 		if err := ExtractBlockDataInto(bd, m, scalar, blocks[i], level); err != nil {
 			mu.Lock()
 			if firstErr == nil {
@@ -271,15 +403,5 @@ func RenderParallelWith(rr *Renderer, m *mesh.Mesh, scalar []float32, blockLevel
 	if firstErr != nil {
 		return nil, firstErr
 	}
-	frags := rr.RenderBlocksWith(bds, view, workers, wp)
-	kept := make([]*Fragment, 0, len(frags))
-	for i, f := range frags {
-		if f != nil {
-			f.VisRank = rank[i]
-			kept = append(kept, f)
-		}
-	}
-	out := compositeFragmentsWith(view.Width, view.Height, kept, workers, wp)
-	releaseFragments(kept)
-	return out, nil
+	return bds, nil
 }

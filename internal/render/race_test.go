@@ -1,0 +1,8 @@
+//go:build race
+
+package render
+
+// raceEnabled skips the steady-state allocation gates under the race
+// detector, whose instrumentation allocates shadow state inside the
+// mutex-protected pools.
+const raceEnabled = true

@@ -3,22 +3,32 @@ package render
 import (
 	"math"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 
 	"repro/internal/img"
 	"repro/internal/mesh"
 	"repro/internal/octree"
+	"repro/internal/pool"
 	wpool "repro/internal/workers"
 )
 
 // Fragment is the partial image a rendering processor produces for one
 // block: a subrectangle of the final image plus the block's position in the
 // global front-to-back visibility order.
+//
+// Fragments produced through a RenderScratch are pooled: the consumer that
+// ends up owning them (compositing) must hand them back with
+// ReleaseFragments, which returns each struct and its pixel buffer to the
+// producing scratch (see docs/ownership.md). Fragments produced without a
+// scratch only recycle their pixel buffer through the package-global pool.
 type Fragment struct {
 	X0, Y0  int
 	Img     *img.Image
 	VisRank int // position in the view's visibility order
+
+	owner *pool.Pool[Fragment] // producing scratch's pool; nil when unpooled
+	store img.Image            // pooled backing image Img points into
 }
 
 // Renderer holds the rendering parameters shared by all blocks. Build one
@@ -108,6 +118,14 @@ type blockRect struct {
 // safe to ray-cast from multiple goroutines. ok is false when the block is
 // skipped.
 func (r *Renderer) projectBlock(bd *BlockData, view *View) (*Fragment, blockRect, bool) {
+	return r.projectBlockWith(bd, view, nil)
+}
+
+// projectBlockWith is projectBlock taking the fragment from the scratch's
+// pool when one is supplied (nil allocates as projectBlock does). Safe to
+// call concurrently for distinct blocks on one scratch — the pool is
+// mutex-guarded.
+func (r *Renderer) projectBlockWith(bd *BlockData, view *View, rs *RenderScratch) (*Fragment, blockRect, bool) {
 	if r.TF.TransparentBelow(float64(bd.MaxValue())) {
 		return nil, blockRect{}, false // empty-space skipping
 	}
@@ -141,7 +159,12 @@ func (r *Renderer) projectBlock(bd *BlockData, view *View) (*Fragment, blockRect
 	if step <= 0 {
 		step = 1e-3
 	}
-	frag := &Fragment{X0: x0, Y0: y0, Img: newPooledImage(x1-x0, y1-y0)}
+	var frag *Fragment
+	if rs != nil {
+		frag = rs.getFragment(x0, y0, x1-x0, y1-y0)
+	} else {
+		frag = &Fragment{X0: x0, Y0: y0, Img: newPooledImage(x1-x0, y1-y0)}
+	}
 	return frag, blockRect{x0: x0, y0: y0, x1: x1, y1: y1, step: step}, true
 }
 
@@ -229,8 +252,14 @@ func (r *Renderer) RenderBlock(bd *BlockData, view *View) *Fragment {
 // renderBlockSerial is RenderBlock with tile parallelism forced off — the
 // reference path RenderParallel is verified against.
 func (r *Renderer) renderBlockSerial(bd *BlockData, view *View) *Fragment {
+	return r.renderBlockSerialWith(bd, view, nil)
+}
+
+// renderBlockSerialWith is renderBlockSerial taking the fragment from the
+// scratch's pool when one is supplied.
+func (r *Renderer) renderBlockSerialWith(bd *BlockData, view *View, rs *RenderScratch) *Fragment {
 	r.defaults()
-	frag, g, ok := r.projectBlock(bd, view)
+	frag, g, ok := r.projectBlockWith(bd, view, rs)
 	if !ok {
 		return nil
 	}
@@ -315,17 +344,42 @@ func compositeFragments(w, h int, frags []*Fragment, workers int) *img.Image {
 	return compositeFragmentsWith(w, h, frags, workers, nil)
 }
 
-// compositeFragmentsWith is compositeFragments running the strip fan-out
-// on a persistent worker pool when one is supplied (nil spawns per call).
-func compositeFragmentsWith(w, h int, frags []*Fragment, nw int, wp *wpool.Pool) *img.Image {
-	ordered := make([]*Fragment, 0, len(frags))
+// cmpVisRank orders fragments front to back. A package-level function so
+// the steady-state sort allocates no closure.
+func cmpVisRank(a, b *Fragment) int { return a.VisRank - b.VisRank }
+
+// compositeFragmentsWith is compositeFragments drawing its order slice and
+// output canvas from the scratch and dispatching the strip fan-out on the
+// scratch's persistent pool (nil scratch allocates fresh and spawns per
+// call). With a scratch the returned image is a borrow, valid until the
+// next composite on the same scratch. Output is pixel-identical either
+// way: the stable front-to-back order and per-pixel arithmetic do not
+// depend on the scratch.
+func compositeFragmentsWith(w, h int, frags []*Fragment, nw int, rs *RenderScratch) *img.Image {
+	var ordered []*Fragment
+	var out *img.Image
+	var wp *wpool.Pool
+	if rs != nil {
+		ordered = rs.ordered[:0]
+		n := 4 * w * h
+		rs.frame.Pix = pool.Grow(rs.frame.Pix, n)
+		clear(rs.frame.Pix)
+		rs.frame.W, rs.frame.H = w, h
+		out = &rs.frame
+		wp = rs.Pool
+	} else {
+		ordered = make([]*Fragment, 0, len(frags))
+		out = img.New(w, h)
+	}
 	for _, f := range frags {
 		if f != nil && f.Img != nil {
 			ordered = append(ordered, f)
 		}
 	}
-	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].VisRank < ordered[j].VisRank })
-	out := img.New(w, h)
+	slices.SortStableFunc(ordered, cmpVisRank)
+	if rs != nil {
+		rs.ordered = ordered
+	}
 	if nw <= 0 {
 		nw = runtime.NumCPU()
 	}
@@ -339,16 +393,31 @@ func compositeFragmentsWith(w, h int, frags []*Fragment, nw int, wp *wpool.Pool)
 	band := (h + nw - 1) / nw
 	if wp != nil {
 		bands := (h + band - 1) / band
-		wp.Run(nw, bands, func(i int) {
-			lo := i * band
-			hi := lo + band
-			if hi > h {
-				hi = h
+		rs.strip = stripJob{out: out, ordered: ordered, band: band, h: h}
+		if rs.stripF == nil {
+			rs.stripF = func(i int) {
+				j := &rs.strip
+				lo := i * j.band
+				hi := lo + j.band
+				if hi > j.h {
+					hi = j.h
+				}
+				compositeStrip(j.out, j.ordered, lo, hi)
 			}
-			compositeStrip(out, ordered, lo, hi)
-		})
+		}
+		wp.Run(nw, bands, rs.stripF)
+		rs.strip = stripJob{}
 		return out
 	}
+	spawnStrips(out, ordered, band, h)
+	return out
+}
+
+// spawnStrips fans the strip compositing out on per-call goroutines. Kept
+// out of compositeFragmentsWith so the goroutine closure does not force
+// the pooled/serial paths' canvas and order slice to the heap (the
+// steady-state scratch composite is allocation-free).
+func spawnStrips(out *img.Image, ordered []*Fragment, band, h int) {
 	var wg sync.WaitGroup
 	for lo := 0; lo < h; lo += band {
 		hi := lo + band
@@ -362,7 +431,6 @@ func compositeFragmentsWith(w, h int, frags []*Fragment, nw int, wp *wpool.Pool)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 // compositeStrip composites rows [yLo, yHi) of every fragment, in the
