@@ -15,11 +15,12 @@ build:
 test:
 	$(GO) test ./...
 
-# The worker-pool renderer, LIC convolution, compositor, pipeline and the
-# persistent worker pool are the concurrent subsystems; run them under the
-# race detector.
+# The worker-pool renderer, LIC convolution, compositor, pipeline, the
+# persistent worker pool and the fault-injection harness (whose chaos
+# suite in internal/core races injected faults against free-running
+# ranks) are the concurrent subsystems; run them under the race detector.
 race:
-	$(GO) test -race ./internal/render/... ./internal/lic/... ./internal/core/... ./internal/compositor/... ./internal/workers/...
+	$(GO) test -race ./internal/render/... ./internal/lic/... ./internal/core/... ./internal/compositor/... ./internal/workers/... ./internal/faultinject/... ./internal/pfs/... ./internal/mpiio/...
 
 vet:
 	$(GO) vet ./...
@@ -51,20 +52,22 @@ check: build vet fmtcheck doccheck test race
 
 # ci is what the GitHub Actions workflow runs: the full functional gates
 # (the allocation-regression, golden-pipeline, fuzz-seed and equivalence
-# suites of PRs 2-5) plus three extras. The wall-clock speedup gates (CSR
+# suites of PRs 2-5) plus four extras. The wall-clock speedup gates (CSR
 # SpMV, flat/RLE-stream compositeStrip, decode chain) only assert when
 # REPRO_PERF_ASSERT=1 so plain `go test ./...` stays immune to scheduler
 # noise; the named alloc-gate pass restates the steady-state zero-
 # allocation guarantees loudly (including PR 5's collective-read and
 # rendered-frame gates, TestReadAllSteadyStateAllocFree and
-# TestRenderFrameAllocFree); and the -benchtime 1x smoke run compiles and
-# executes every hot-kernel benchmark once so they cannot bit-rot. See
-# docs/ci.md for the full gate catalog.
+# TestRenderFrameAllocFree); the fixed-seed chaos smoke replays PR 6's
+# fault-injection suite under the race detector (docs/faults.md); and the
+# -benchtime 1x smoke run compiles and executes every hot-kernel benchmark
+# once so they cannot bit-rot. See docs/ci.md for the full gate catalog.
 ci: check
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestSpMVSpeedupGate' -v ./internal/quake/
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestCompositeStripSpeedupGate' -v ./internal/compositor/
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestDecodeChainSpeedupGate' -v ./internal/core/
 	$(GO) test -run 'AllocFree|AllocBudget|ArenaReuse' -v ./internal/compositor/ ./internal/render/ ./internal/lic/ ./internal/quadtree/ ./internal/core/ ./internal/mpiio/ ./internal/workers/
+	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/core/
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/compositor/ ./internal/lic/ ./internal/render/ ./internal/mpiio/ ./internal/core/ ./internal/workers/
 
 # Short exploratory fuzz sessions; the committed seeds alone run in `test`.
@@ -75,3 +78,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzDecodeRLE$$' -fuzztime=30s ./internal/compositor/
 	$(GO) test -run='^$$' -fuzz='^FuzzCompositeRLEStream$$' -fuzztime=30s ./internal/compositor/
 	$(GO) test -run='^$$' -fuzz='^FuzzCompositeRLEGarbage$$' -fuzztime=30s ./internal/compositor/
+	$(GO) test -run='^$$' -fuzz='^FuzzFaultSchedule$$' -fuzztime=30s ./internal/faultinject/

@@ -118,6 +118,44 @@ func (l Layout) RenderRanks() []int {
 	return out
 }
 
+// DefaultStepRetries is the per-step re-read budget a fault-tolerant input
+// rank spends before falling back to stale data (FaultPolicy.StepRetries 0).
+const DefaultStepRetries = 2
+
+// FaultPolicy is the pipeline's fault-tolerance configuration
+// (docs/faults.md). The zero value keeps the historical behavior: any read
+// or decode error aborts the run.
+type FaultPolicy struct {
+	// Tolerate enables degraded-mode operation: an input rank whose step
+	// read exhausts its retry budget serves the previous step's data for
+	// its share (stale-data fallback), marks the frame degraded, and the
+	// run keeps going instead of aborting. Retry/degrade events are
+	// accounted on the run's Result (Retries, FaultEvents, StaleSteps,
+	// DegradedFrames).
+	Tolerate bool
+
+	// StepRetries is the per-step re-read budget an input rank spends on
+	// retryable errors (transient faults retry as-is; corrupt records get
+	// re-read for clean bytes) before degrading. 0 means
+	// DefaultStepRetries; negative disables step-level retry (degrade on
+	// the first failure). Collective reads never retry at this level — a
+	// completed collective cannot be re-entered by one rank (see
+	// mpiio.ReadAllInto); transient faults there are healed below MPI-IO
+	// (pfs.RetryStore) and anything that still surfaces degrades directly.
+	StepRetries int
+}
+
+// stepRetries returns the effective per-step re-read budget.
+func (p FaultPolicy) stepRetries() int {
+	switch {
+	case p.StepRetries > 0:
+		return p.StepRetries
+	case p.StepRetries < 0:
+		return 0
+	}
+	return DefaultStepRetries
+}
+
 // Options are the visualization options shared by both execution modes.
 type Options struct {
 	Width, Height int
@@ -151,6 +189,10 @@ type Options struct {
 	// TFName selects the transfer-function preset ("seismic", "gray",
 	// "hot"); empty uses the seismic default.
 	TFName string
+
+	// Faults is the fault-tolerance policy (docs/faults.md). The zero
+	// value aborts the run on the first unrecovered read error.
+	Faults FaultPolicy
 }
 
 // DefaultOptions returns the options used by the examples.

@@ -1,0 +1,152 @@
+package core
+
+// Degraded-mode operation (PR 6, docs/faults.md): the Workload fetch hooks
+// wrap the strategy-specific read bodies (real.go) with the fault policy.
+// Retryable errors — transient faults and corrupt records, classified by
+// the pfs sentinels — are re-read within a per-step budget; a step that
+// exhausts its budget is served from the previous step's data instead of
+// aborting the run. The fallback is free because the per-rank stepShare
+// (and its full-node quantized buffer) is reused across timesteps: a share
+// whose read failed still holds the previous step's values for its ids, so
+// "degrade" is just publishing the intended id set without overwriting q.
+// Degraded steps mark their frame, and Assemble folds the flag into
+// Result.DegradedFrames; the happy path adds only branch checks and stays
+// allocation-free.
+
+import (
+	"repro/internal/mpi"
+	"repro/internal/mpiio"
+	"repro/internal/pfs"
+)
+
+// attachResult gives the workload the run's Result so degraded-mode
+// recoveries can be accounted; NewPipeline calls it via optional-interface
+// assertion.
+func (w *RealWorkload) attachResult(res *Result) { w.res = res }
+
+// account folds one recovery episode into the run's Result (if attached).
+func (w *RealWorkload) account(faults, retries int, stale bool) {
+	if w.res != nil {
+		w.res.addFetchFaults(faults, retries, stale)
+	}
+}
+
+// markDegraded records that some input rank served stale or dropped data
+// for timestep t.
+func (w *RealWorkload) markDegraded(t int) {
+	w.degradedMu.Lock()
+	if w.degraded == nil {
+		w.degraded = make(map[int]bool)
+	}
+	w.degraded[t] = true
+	w.degradedMu.Unlock()
+}
+
+// FrameDegraded reports whether timestep t's frame was built from degraded
+// input: a stale-data fallback share or a dropped LIC underlay. Valid once
+// the frame exists (Frame(t) != nil); consumers use it to tag or skip
+// frames that do not reflect step t's true data.
+func (w *RealWorkload) FrameDegraded(t int) bool {
+	w.degradedMu.Lock()
+	defer w.degradedMu.Unlock()
+	return w.degraded[t]
+}
+
+// Fetch implements Workload: fetchStep under the fault policy. Retryable
+// failures re-read within the per-step budget; past it the share degrades
+// to the previous step's data (stale fallback) and the frame is marked.
+// Collective reads never re-run fetchStep — a completed collective round
+// cannot be re-entered by one rank (mpiio.ReadAllInto) — so a surfaced
+// collective failure degrades directly; transients there are healed below
+// MPI-IO by pfs.RetryStore.
+func (w *RealWorkload) Fetch(c *mpi.Comm, t, part, m int) (any, error) {
+	share, err := w.fetchStep(c, t, part, m)
+	if err == nil || !w.opts.Faults.Tolerate {
+		return share, err
+	}
+	faults, retries := 1, 0
+	if w.opts.ReadStrategy != ReadCollective {
+		for retries < w.opts.Faults.stepRetries() && pfs.Retryable(err) {
+			retries++
+			share, err = w.fetchStep(c, t, part, m)
+			if err == nil {
+				w.account(faults, retries, false)
+				return share, nil
+			}
+			faults++
+		}
+	}
+	w.markDegraded(t)
+	w.account(faults, retries, true)
+	return w.degradeStep(c, t, part, m), nil
+}
+
+// degradeStep publishes the share an exhausted step would have fetched,
+// without reading: the ids are set to the step's intended set while the
+// reused q buffer keeps the previous step's values for them (zeros before
+// this rank's first successful step). PayloadFor then ships stale values
+// exactly as it would fresh ones.
+func (w *RealWorkload) degradeStep(c *mpi.Comm, t, part, m int) *stepShare {
+	scr := w.ipScr[c.Rank()]
+	share := &scr.share
+	share.t, share.part = t, part
+	share.ids, share.idLo, share.idHi = nil, 0, 0
+	if share.q == nil {
+		share.q = make([]uint8, w.meta.NumNodes)
+	}
+	switch {
+	case w.opts.ReadStrategy == ReadCollective:
+		share.ids = w.collIDs[part]
+	case w.adaptiveFetching():
+		n := len(w.allNeeded)
+		share.ids = w.allNeeded[n*part/m : n*(part+1)/m]
+	default:
+		n := w.meta.NumNodes
+		share.idLo, share.idHi = int32(n*part/m), int32(n*(part+1)/m)
+	}
+	return share
+}
+
+// retryReopen spends the step budget on a failed pre-collective Reopen —
+// rank-local and therefore safe to retry even in collective mode (the
+// round's collective has not started). It returns nil once an attempt
+// succeeds, or the last error.
+func (w *RealWorkload) retryReopen(f *mpiio.File, c *mpi.Comm, t int, err error) error {
+	if !w.opts.Faults.Tolerate {
+		return err
+	}
+	faults, retries := 1, 0
+	for retries < w.opts.Faults.stepRetries() && pfs.Retryable(err) {
+		retries++
+		if err = f.Reopen(c, w.store, w.stepName(t)); err == nil {
+			w.account(faults, retries, false)
+			return nil
+		}
+		faults++
+	}
+	w.account(faults, retries, false)
+	return err
+}
+
+// LICPayload implements Workload: licStep under the fault policy. A failed
+// LIC build retries within the step budget, then degrades by shipping a nil
+// underlay (Assemble renders the frame without it) and marking the frame.
+func (w *RealWorkload) LICPayload(c *mpi.Comm, t int, prep any) (int64, any, error) {
+	bytes, data, err := w.licStep(c, t)
+	if err == nil || !w.opts.Faults.Tolerate {
+		return bytes, data, err
+	}
+	faults, retries := 1, 0
+	for retries < w.opts.Faults.stepRetries() && pfs.Retryable(err) {
+		retries++
+		bytes, data, err = w.licStep(c, t)
+		if err == nil {
+			w.account(faults, retries, false)
+			return bytes, data, nil
+		}
+		faults++
+	}
+	w.markDegraded(t)
+	w.account(faults, retries, false)
+	return 1, nil, nil
+}

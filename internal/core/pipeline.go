@@ -74,6 +74,19 @@ type Result struct {
 	// RankRenderSec records each renderer's total busy time, the basis for
 	// the load-balance diagnostics.
 	RankRenderSec map[int]float64
+
+	// Fault accounting (docs/faults.md), populated only by fault-tolerant
+	// workloads (Options.Faults.Tolerate). FaultEvents counts read/decode
+	// errors observed at the step level (each failed attempt counts one);
+	// Retries counts the step-level re-reads spent on them; StaleSteps
+	// counts input-rank steps that exhausted their budget and served the
+	// previous step's data; DegradedFrames counts assembled frames built
+	// from at least one stale or dropped input. Store-level retries
+	// (pfs.RetryStore) are accounted on the store, not here.
+	FaultEvents    int
+	Retries        int
+	StaleSteps     int
+	DegradedFrames int
 }
 
 // addInputStep folds one input-rank step's stage timings in. The typed
@@ -98,6 +111,26 @@ func (r *Result) addRenderStep(rank int, render, comp float64) {
 		r.RankRenderSec = make(map[int]float64)
 	}
 	r.RankRenderSec[rank] += render
+	r.mu.Unlock()
+}
+
+// addFetchFaults folds one degraded-mode recovery episode in: the errors
+// observed, the step-level retries spent on them, and whether the episode
+// ended in a stale-data fallback.
+func (r *Result) addFetchFaults(faults, retries int, stale bool) {
+	r.mu.Lock()
+	r.FaultEvents += faults
+	r.Retries += retries
+	if stale {
+		r.StaleSteps++
+	}
+	r.mu.Unlock()
+}
+
+// addDegradedFrame records the assembly of a degraded frame.
+func (r *Result) addDegradedFrame() {
+	r.mu.Lock()
+	r.DegradedFrames++
 	r.mu.Unlock()
 }
 
@@ -188,6 +221,12 @@ func NewPipeline(l Layout, w Workload) (*Pipeline, error) {
 	res := &Result{
 		FrameDone:     make([]float64, 0, w.Steps()),
 		RankRenderSec: make(map[int]float64, l.Renderers),
+	}
+	// Fault-tolerant workloads account their retry/degrade events on the
+	// run's Result; the hookup is by optional interface so the Workload
+	// contract stays unchanged for workloads with nothing to report.
+	if fw, ok := w.(interface{ attachResult(*Result) }); ok {
+		fw.attachResult(res)
 	}
 	return &Pipeline{Layout: l, W: w, Res: res, PrefetchDepth: 1}, nil
 }

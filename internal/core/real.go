@@ -82,6 +82,15 @@ type RealWorkload struct {
 
 	framesMu sync.Mutex
 	frames   map[int]*img.Image
+
+	// Degraded-mode state (PR 6, docs/faults.md): res is the run's fault
+	// accounting sink (attached by NewPipeline), degraded the set of
+	// timesteps some input rank served stale or dropped data for — written
+	// by input ranks during Fetch/LICPayload, read by Assemble (strictly
+	// after every input of the step) to flag the frame.
+	res        *Result
+	degradedMu sync.Mutex
+	degraded   map[int]bool
 }
 
 // stepShare is one input processor's fetched portion of a timestep.
@@ -603,13 +612,16 @@ func (w *RealWorkload) magQuant(c *mpi.Comm, t int, ids []int32, raw []byte, scr
 	return scr.q, nil
 }
 
-// Fetch implements Workload. The stepShare — including its full-node
-// quantized staging buffer q — is reused across this rank's timesteps:
-// a share is only read while the step's payloads are built, strictly
-// before this rank's next Fetch, and PayloadFor only reads the q entries
-// of ids fetched this step, so stale entries from earlier steps are never
-// observed.
-func (w *RealWorkload) Fetch(c *mpi.Comm, t, part, m int) (any, error) {
+// fetchStep is the strategy-specific read of one step share — the body of
+// Fetch (see faults.go for the retry/degrade wrapper that implements the
+// Workload hook). The stepShare — including its full-node quantized staging
+// buffer q — is reused across this rank's timesteps: a share is only read
+// while the step's payloads are built, strictly before this rank's next
+// Fetch, and PayloadFor only reads the q entries of ids fetched this step,
+// so stale entries from earlier steps are never observed. That same reuse
+// is what makes the degraded-mode stale fallback free: a share whose read
+// failed keeps the previous step's q values for its ids.
+func (w *RealWorkload) fetchStep(c *mpi.Comm, t, part, m int) (*stepShare, error) {
 	scr := w.ipScr[c.Rank()]
 	share := &scr.share
 	share.t, share.part = t, part
@@ -632,7 +644,21 @@ func (w *RealWorkload) Fetch(c *mpi.Comm, t, part, m int) (any, error) {
 		}
 		f := &scr.file
 		if err := f.Reopen(scr.sub, w.store, w.stepName(t)); err != nil {
-			return nil, err
+			// Pre-collective failure. Rank-local retry is still safe here
+			// (nothing collective has happened this round); past the budget,
+			// a handle still open on a previous step serves that object for
+			// the whole round — an I/O-level stale fallback that keeps the
+			// group's collective synchronized. Only a first-step open
+			// failure is terminal (no previous object to fall back to).
+			err = w.retryReopen(f, scr.sub, t, err)
+			if err != nil {
+				if !w.opts.Faults.Tolerate || !f.Opened() {
+					return nil, err
+				}
+				// retryReopen accounted the faults; this only marks staleness.
+				w.markDegraded(t)
+				w.account(0, 0, true)
+			}
 		}
 		setIndexedView(f, ids, scr)
 		size, err := f.ViewSize()
@@ -806,13 +832,15 @@ func (w *RealWorkload) PayloadFor(c *mpi.Comm, t int, prep any, renderer int) (i
 	return bytes, p
 }
 
-// LICPayload implements Workload: reads the surface node vectors, updates
-// the (persistent) quadtree, resamples a regular grid, and computes the
-// LIC image. The surface-node positions are static, so after the first
-// step the quadtree rebuild reduces to an in-place value update, the
-// noise texture is cached, and every image buffer is reused; the colorized
-// underlay is pooled and released by the output processor.
-func (w *RealWorkload) LICPayload(c *mpi.Comm, t int, prep any) (int64, any, error) {
+// licStep builds the surface-LIC underlay for one step — the body of
+// LICPayload (see faults.go for the retry/degrade wrapper): reads the
+// surface node vectors, updates the (persistent) quadtree, resamples a
+// regular grid, and computes the LIC image. The surface-node positions are
+// static, so after the first step the quadtree rebuild reduces to an
+// in-place value update, the noise texture is cached, and every image
+// buffer is reused; the colorized underlay is pooled and released by the
+// output processor.
+func (w *RealWorkload) licStep(c *mpi.Comm, t int) (int64, any, error) {
 	scr := w.ipScr[c.Rank()]
 	ls := &scr.lic
 	f := &scr.file
@@ -1021,6 +1049,11 @@ func (w *RealWorkload) Assemble(c *mpi.Comm, t int, strips []mpi.Message, licMsg
 	}
 	w.frames[t] = frame
 	w.framesMu.Unlock()
+	// Every input of step t ran strictly before its strips/LIC arrived
+	// here, so the degraded set is final for t: flag the frame now.
+	if w.res != nil && w.FrameDegraded(t) {
+		w.res.addDegradedFrame()
+	}
 	return nil
 }
 

@@ -1,0 +1,350 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/pfs"
+)
+
+func newInner(t testing.TB) *pfs.MemStore {
+	t.Helper()
+	st := pfs.NewMemStore()
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := st.Write("obj", data); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestDisabledSchedulePassesThrough(t *testing.T) {
+	inner := newInner(t)
+	s := Wrap(inner, Config{Seed: 7}) // all probabilities zero
+	want := make([]byte, 64)
+	got := make([]byte, 64)
+	for off := int64(0); off < 4096; off += 512 {
+		if err := inner.ReadAt(nil, "obj", off, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ReadAt(nil, "obj", off, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("offset %d: injected store diverged with zero probabilities", off)
+		}
+	}
+	st := s.Stats()
+	if st.Transients+st.Permanents+st.ShortReads+st.Corrupts+st.Latencies != 0 {
+		t.Errorf("zero-probability schedule injected: %+v", st)
+	}
+	if st.Reads != 8 {
+		t.Errorf("Reads = %d, want 8", st.Reads)
+	}
+}
+
+func TestScheduleReproducibleBySeed(t *testing.T) {
+	kinds := func(seed uint64) []Kind {
+		s := Wrap(newInner(t), Config{
+			Seed: seed, PTransient: 0.2, PPermanent: 0.1, PShortRead: 0.1, PCorrupt: 0.1, PLatency: 0.1,
+		})
+		var out []Kind
+		for off := int64(0); off < 4096; off += 64 {
+			out = append(out, s.kindOf("obj", off))
+		}
+		return out
+	}
+	a, b := kinds(1), kinds(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at site %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := kinds(2)
+	same := 0
+	var classes [6]int
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+		classes[a[i]]++
+	}
+	if same == len(a) {
+		t.Error("different seeds gave identical schedules")
+	}
+	// With 64 sites at these probabilities every class should appear.
+	for k := KindPermanent; k <= KindLatency; k++ {
+		if classes[k] == 0 {
+			t.Errorf("no site drew %v in 64 samples (p>=0.1 each)", k)
+		}
+	}
+}
+
+func TestTransientHealsOnRetry(t *testing.T) {
+	s := Wrap(newInner(t), Config{Seed: 3, PTransient: 1})
+	buf := make([]byte, 32)
+	err := s.ReadAt(nil, "obj", 100, buf)
+	if !pfs.IsTransient(err) {
+		t.Fatalf("first read = %v, want transient", err)
+	}
+	if err := s.ReadAt(nil, "obj", 100, buf); err != nil {
+		t.Fatalf("retry did not heal: %v", err)
+	}
+	want := make([]byte, 32)
+	newInner(t).ReadAt(nil, "obj", 100, want)
+	if !bytes.Equal(buf, want) {
+		t.Error("healed read returned wrong bytes")
+	}
+	// Sizes share the schedule at pseudo-offset -1.
+	if _, err := s.Size("obj"); !pfs.IsTransient(err) {
+		t.Error("size probe did not fault transiently")
+	}
+	if n, err := s.Size("obj"); err != nil || n != 4096 {
+		t.Errorf("healed Size = %d, %v", n, err)
+	}
+}
+
+func TestFaultAttemptsExtendsOutage(t *testing.T) {
+	s := Wrap(newInner(t), Config{Seed: 3, PTransient: 1, FaultAttempts: 3})
+	buf := make([]byte, 8)
+	for k := 0; k < 3; k++ {
+		if err := s.ReadAt(nil, "obj", 0, buf); !pfs.IsTransient(err) {
+			t.Fatalf("attempt %d = %v, want transient", k+1, err)
+		}
+	}
+	if err := s.ReadAt(nil, "obj", 0, buf); err != nil {
+		t.Fatalf("attempt 4 should heal: %v", err)
+	}
+}
+
+func TestPermanentNeverHeals(t *testing.T) {
+	s := Wrap(newInner(t), Config{Seed: 3, PPermanent: 1})
+	buf := make([]byte, 8)
+	for k := 0; k < 5; k++ {
+		err := s.ReadAt(nil, "obj", 64, buf)
+		if !errors.Is(err, pfs.ErrPermanent) {
+			t.Fatalf("attempt %d = %v, want permanent", k+1, err)
+		}
+	}
+	if s.Stats().Permanents != 5 {
+		t.Errorf("Permanents = %d, want 5", s.Stats().Permanents)
+	}
+}
+
+func TestShortReadFillsPrefixAndClassifies(t *testing.T) {
+	s := Wrap(newInner(t), Config{Seed: 3, PShortRead: 1})
+	buf := make([]byte, 32)
+	for i := range buf {
+		buf[i] = 0xAA
+	}
+	err := s.ReadAt(nil, "obj", 0, buf)
+	if !errors.Is(err, pfs.ErrShortRead) || !pfs.IsTransient(err) {
+		t.Fatalf("short read = %v, want ErrShortRead+transient", err)
+	}
+	want := make([]byte, 32)
+	newInner(t).ReadAt(nil, "obj", 0, want)
+	if !bytes.Equal(buf[:16], want[:16]) {
+		t.Error("short read did not fill the prefix")
+	}
+	if !strings.Contains(err.Error(), "got 16 bytes") {
+		t.Errorf("error %q missing byte count", err)
+	}
+	if err := s.ReadAt(nil, "obj", 0, buf); err != nil {
+		t.Fatalf("short-read site did not heal: %v", err)
+	}
+}
+
+// TestCorruptionIsDetectable pins the injector's corruption pattern: the
+// flipped float32 word becomes non-finite, so quake-style record validation
+// (exponent all-ones) is guaranteed to catch it.
+func TestCorruptionIsDetectable(t *testing.T) {
+	s := Wrap(newInner(t), Config{Seed: 3, PCorrupt: 1})
+	buf := make([]byte, 64)
+	if err := s.ReadAt(nil, "obj", 0, buf); err != nil {
+		t.Fatalf("corrupt read must succeed at the store level: %v", err)
+	}
+	want := make([]byte, 64)
+	newInner(t).ReadAt(nil, "obj", 0, want)
+	if bytes.Equal(buf, want) {
+		t.Fatal("corrupt read returned clean bytes")
+	}
+	nonFinite := 0
+	for w := 0; w+4 <= len(buf); w += 4 {
+		bits := uint32(buf[w]) | uint32(buf[w+1])<<8 | uint32(buf[w+2])<<16 | uint32(buf[w+3])<<24
+		f := math.Float32frombits(bits)
+		if math.IsNaN(float64(f)) || math.IsInf(float64(f), 0) {
+			nonFinite++
+		}
+	}
+	if nonFinite == 0 {
+		t.Error("injected corruption produced only finite values (undetectable)")
+	}
+	// The re-read returns clean bytes — the "corrupt heals on re-read"
+	// contract the decode-layer re-read depends on.
+	if err := s.ReadAt(nil, "obj", 0, buf); err != nil || !bytes.Equal(buf, want) {
+		t.Errorf("re-read not clean: %v", err)
+	}
+}
+
+func TestLatencyDelaysButSucceeds(t *testing.T) {
+	s := Wrap(newInner(t), Config{Seed: 3, PLatency: 1, Latency: 5 * time.Millisecond})
+	buf := make([]byte, 16)
+	start := time.Now()
+	if err := s.ReadAt(nil, "obj", 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) < 5*time.Millisecond {
+		t.Error("latency site returned too fast")
+	}
+	if s.Stats().Latencies != 1 {
+		t.Errorf("Latencies = %d, want 1", s.Stats().Latencies)
+	}
+}
+
+func TestMatchSparesObjects(t *testing.T) {
+	inner := newInner(t)
+	inner.Write("meta.bin", []byte("metadata"))
+	s := Wrap(inner, Config{
+		Seed: 3, PPermanent: 1,
+		Match: func(name string) bool { return strings.HasPrefix(name, "obj") },
+	})
+	if err := s.ReadAt(nil, "meta.bin", 0, make([]byte, 4)); err != nil {
+		t.Errorf("spared object faulted: %v", err)
+	}
+	if _, err := s.Size("meta.bin"); err != nil {
+		t.Errorf("spared Size faulted: %v", err)
+	}
+	if err := s.ReadAt(nil, "obj", 0, make([]byte, 4)); err == nil {
+		t.Error("matched object did not fault")
+	}
+}
+
+func TestConcurrentReadsRaceClean(t *testing.T) {
+	s := Wrap(newInner(t), Config{Seed: 9, PTransient: 0.3, PCorrupt: 0.2, PShortRead: 0.1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 16)
+			for off := int64(0); off < 4096; off += 16 {
+				for attempt := 0; attempt < 3; attempt++ {
+					if err := s.ReadAt(nil, "obj", off, buf); err == nil {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Stats().Reads == 0 {
+		t.Error("no reads recorded")
+	}
+}
+
+// FuzzFaultSchedule drives arbitrary (seed, probabilities, site) inputs
+// through the injector and checks its invariants against a clean reference
+// store: determinism by seed, pass-through when disabled, transient sites
+// healing after FaultAttempts reads, corruption being non-finite-detectable,
+// and permanent sites never healing.
+func FuzzFaultSchedule(f *testing.F) {
+	f.Add(uint64(1), uint16(200), uint16(100), uint16(100), uint16(100), int64(0), uint8(1))
+	f.Add(uint64(42), uint16(1000), uint16(0), uint16(0), uint16(0), int64(128), uint8(2))
+	f.Add(uint64(0), uint16(0), uint16(1000), uint16(0), uint16(0), int64(4000), uint8(1))
+	f.Add(uint64(7), uint16(0), uint16(0), uint16(1000), uint16(0), int64(64), uint8(3))
+	f.Add(uint64(9), uint16(0), uint16(0), uint16(0), uint16(1000), int64(12), uint8(1))
+	f.Fuzz(func(t *testing.T, seed uint64, pt, pp, ps, pc uint16, off int64, attempts uint8) {
+		inner := pfs.NewMemStore()
+		data := make([]byte, 4096)
+		for i := range data {
+			data[i] = byte(i*7 + 1)
+		}
+		inner.Write("obj", data)
+		cfg := Config{
+			Seed:       seed,
+			PTransient: float64(pt%1001) / 1000,
+			PPermanent: float64(pp%1001) / 1000,
+			PShortRead: float64(ps%1001) / 1000,
+			PCorrupt:   float64(pc%1001) / 1000,
+		}
+		// Keep the evaluation order's probability sum <= 1.
+		if sum := cfg.PPermanent + cfg.PTransient + cfg.PShortRead + cfg.PCorrupt; sum > 1 {
+			scale := 1 / sum
+			cfg.PPermanent *= scale
+			cfg.PTransient *= scale
+			cfg.PShortRead *= scale
+			cfg.PCorrupt *= scale
+		}
+		cfg.FaultAttempts = int(attempts%4) + 1
+		if off < 0 {
+			off = -off
+		}
+		off %= 4064
+		s := Wrap(inner, cfg)
+		kind := s.kindOf("obj", off)
+		if kind != Wrap(inner, cfg).kindOf("obj", off) {
+			t.Fatal("schedule not deterministic for equal configs")
+		}
+		want := make([]byte, 32)
+		inner.ReadAt(nil, "obj", off, want)
+		buf := make([]byte, 32)
+		for attempt := 1; attempt <= cfg.FaultAttempts+1; attempt++ {
+			err := s.ReadAt(nil, "obj", off, buf)
+			healed := attempt > cfg.FaultAttempts
+			switch kind {
+			case KindNone, KindLatency:
+				if err != nil {
+					t.Fatalf("clean site errored: %v", err)
+				}
+				if !bytes.Equal(buf, want) {
+					t.Fatal("clean site returned wrong bytes")
+				}
+			case KindPermanent:
+				if !errors.Is(err, pfs.ErrPermanent) {
+					t.Fatalf("permanent site attempt %d = %v", attempt, err)
+				}
+			case KindTransient:
+				if healed != (err == nil) {
+					t.Fatalf("transient site attempt %d (heal=%v) = %v", attempt, healed, err)
+				}
+				if healed && !bytes.Equal(buf, want) {
+					t.Fatal("healed transient returned wrong bytes")
+				}
+			case KindShortRead:
+				if healed != (err == nil) {
+					t.Fatalf("shortread site attempt %d (heal=%v) = %v", attempt, healed, err)
+				}
+				if err != nil && !errors.Is(err, pfs.ErrShortRead) {
+					t.Fatalf("shortread site error = %v", err)
+				}
+			case KindCorrupt:
+				if err != nil {
+					t.Fatalf("corrupt site must succeed at store level: %v", err)
+				}
+				if healed != bytes.Equal(buf, want) {
+					t.Fatalf("corrupt site attempt %d: healed=%v clean=%v", attempt, healed, bytes.Equal(buf, want))
+				}
+				if !healed {
+					// The flipped word must be detectably non-finite.
+					found := false
+					for w := 0; w+4 <= len(buf); w += 4 {
+						bits := uint32(buf[w]) | uint32(buf[w+1])<<8 | uint32(buf[w+2])<<16 | uint32(buf[w+3])<<24
+						if bits&0x7f800000 == 0x7f800000 {
+							found = true
+						}
+					}
+					if !found {
+						t.Fatal("injected corruption not detectable")
+					}
+				}
+			}
+		}
+	})
+}

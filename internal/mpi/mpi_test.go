@@ -419,3 +419,52 @@ func TestSubRequiresMembership(t *testing.T) {
 		c.Sub([]int{1}, 0)
 	})
 }
+
+// TestSimMsgDelayInjection pins the simulated transport's fault-injection
+// hook: MsgDelay charges extra virtual latency per send, deterministically,
+// on both the blocking and nonblocking paths.
+func TestSimMsgDelayInjection(t *testing.T) {
+	cfg := testCfg()
+	var calls atomic.Int64
+	cfg.MsgDelay = func(src, dst, tag int, bytes int64) float64 {
+		calls.Add(1)
+		if src == 0 && dst == 1 {
+			return 0.25 // slow link 0->1
+		}
+		return 0
+	}
+	run := func(nonblocking bool) float64 {
+		calls.Store(0)
+		return RunSim(2, cfg, func(c *Comm) {
+			switch c.Rank() {
+			case 0:
+				// 100 MB over a 100 MB/s NIC pair = 1 s of transfer.
+				if nonblocking {
+					c.Isend(1, 0, 100e6, nil).Wait()
+				} else {
+					c.Send(1, 0, 100e6, nil)
+				}
+			case 1:
+				c.Recv(0, 0)
+			}
+		})
+	}
+	for _, nb := range []bool{false, true} {
+		end := run(nb)
+		if math.Abs(end-1.25) > 1e-6 {
+			t.Errorf("nonblocking=%v: finished at %v, want 1.25 (1s transfer + 0.25s injected)", nb, end)
+		}
+		if calls.Load() != 1 {
+			t.Errorf("nonblocking=%v: MsgDelay called %d times, want 1", nb, calls.Load())
+		}
+	}
+	// Determinism: two identically-configured runs end at the same time.
+	if a, b := run(false), run(false); a != b {
+		t.Errorf("injected-delay runs diverged: %v vs %v", a, b)
+	}
+	// A negative return adds nothing.
+	cfg.MsgDelay = func(src, dst, tag int, bytes int64) float64 { return -5 }
+	if end := run(false); math.Abs(end-1.0) > 1e-6 {
+		t.Errorf("negative delay changed the run: %v, want 1.0", end)
+	}
+}

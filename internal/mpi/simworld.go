@@ -17,6 +17,14 @@ type SimConfig struct {
 	DiskClientBW float64 // per-rank parallel-FS client bandwidth
 	DiskAggBW    float64 // aggregate parallel-FS bandwidth across all ranks
 	SeekTime     float64 // per noncontiguous segment (request overhead)
+
+	// MsgDelay, when non-nil, returns extra virtual seconds to charge the
+	// sender before a message departs — the simulated transport's
+	// fault-injection hook (slow links, congested routes, chaos schedules).
+	// It is called once per point-to-point send (including self-sends and
+	// nonblocking sends) and must be deterministic in its arguments to keep
+	// simulated runs reproducible. A negative or zero return adds nothing.
+	MsgDelay func(src, dst, tag int, bytes int64) float64
 }
 
 // Validate fills harmless defaults and rejects nonsensical values.
@@ -58,10 +66,21 @@ func (w *simWorld) deliver(dst int, m Message) {
 	}
 }
 
+// injectDelay returns the MsgDelay hook's extra latency for one send, or 0.
+func (w *simWorld) injectDelay(src, dst, tag int, bytes int64) float64 {
+	if w.cfg.MsgDelay == nil {
+		return 0
+	}
+	if d := w.cfg.MsgDelay(src, dst, tag, bytes); d > 0 {
+		return d
+	}
+	return 0
+}
+
 func (w *simWorld) send(c *Comm, dst, tag int, bytes int64, data any) {
 	r := w.ranks[c.rank]
-	if w.cfg.Latency > 0 {
-		r.proc.Sleep(w.cfg.Latency)
+	if d := w.cfg.Latency + w.injectDelay(c.rank, dst, tag, bytes); d > 0 {
+		r.proc.Sleep(d)
 	}
 	if dst == c.rank {
 		w.deliver(dst, Message{Src: c.rank, Tag: tag, Bytes: bytes, Data: data})
@@ -90,8 +109,8 @@ func (w *simWorld) isend(c *Comm, dst, tag int, bytes int64, data any) *Request 
 			w.k.Unpark(w.ranks[src].proc)
 		}, w.ranks[src].out, w.ranks[dst].in)
 	}
-	if w.cfg.Latency > 0 {
-		w.k.After(w.cfg.Latency, start)
+	if d := w.cfg.Latency + w.injectDelay(src, dst, tag, bytes); d > 0 {
+		w.k.After(d, start)
 	} else {
 		start()
 	}

@@ -254,6 +254,14 @@ func lookupRun(runs []physRun, packed []byte, off, n int64) []byte {
 // Every rank of the communicator must call the collective in the same
 // order, and consecutive collectives on one communicator must use distinct
 // seq values (tags are derived from seq).
+//
+// Failure domain (docs/faults.md): a failed physical read never aborts the
+// collective mid-round — that would strand peers in the shuffle Recv. The
+// round runs to structural completion with the failed run zero-filled, and
+// the error surfaces only on the failing rank, after the round. Callers
+// must not re-issue a completed collective from one rank alone (the peers
+// have moved on); recovery above this layer means degrading, and transient
+// faults are expected to be healed *below* it (pfs.RetryStore).
 func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
 	c := f.c
 	s := f.collective()
@@ -311,14 +319,24 @@ func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
 	packed := ep.packed[:total]
 	s.runs = s.runs[:0]
 	base := int64(0)
+	var readErr error
 	for _, p := range s.plan {
 		buf := packed[base : base+p.Len]
 		if err := f.st.ReadAt(f.c, f.name, p.Off, buf); err != nil {
-			ep.release()
-			return 0, err
+			// A failed physical read MUST NOT abort the collective here:
+			// returning before the shuffle sends would leave every peer
+			// blocked in Recv forever. Zero-fill the run, run the round to
+			// structural completion, and surface the first error afterwards.
+			// Peers receive the zero-filled pieces without an error signal —
+			// only downstream validation can catch them (docs/faults.md).
+			if readErr == nil {
+				readErr = fmt.Errorf("mpiio: collective read of %q run [%d,%d): %w", f.name, p.Off, p.Off+p.Len, err)
+			}
+			clear(buf)
+		} else {
+			f.PhysReads++
+			f.PhysBytes += p.Len
 		}
-		f.PhysReads++
-		f.PhysBytes += p.Len
 		s.runs = append(s.runs, physRun{p.Off, base, p.Len})
 		base += p.Len
 	}
@@ -392,6 +410,9 @@ func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
 		}
 	}
 	ep.release()
+	if readErr != nil {
+		return 0, readErr
+	}
 	if recvErr != nil {
 		return 0, recvErr
 	}

@@ -1,0 +1,51 @@
+package pfs
+
+// Error classification for the I/O fault model (docs/faults.md). Every
+// read-path error in pfs, mpiio and the decode chain wraps one of these
+// sentinels (with %w), so callers decide retry-vs-degrade with errors.Is
+// instead of string matching:
+//
+//   - ErrTransient: the read may succeed if simply retried (a dropped
+//     request, a busy storage server, an injected transient fault).
+//     pfs.RetryStore retries these with capped exponential backoff.
+//   - ErrPermanent: retrying the same read cannot help (missing object,
+//     failed disk). The caller must degrade or abort.
+//   - ErrCorrupt: the bytes arrived but fail validation (a non-finite
+//     float in a step record, a malformed record length). A re-read may
+//     return clean bytes, so corrupt records get one more read before the
+//     caller gives up.
+//   - ErrShortRead: the store returned fewer bytes than requested. A pfs
+//     Store's contract is full-read-or-error, so a short read surfaces as
+//     this sentinel instead of silently truncating the buffer.
+//
+// Errors that wrap none of the sentinels are treated as permanent by the
+// retry layer (retrying an unknown failure mode is not safe by default).
+
+import "errors"
+
+// ErrTransient marks read errors that may heal on retry.
+var ErrTransient = errors.New("transient I/O error")
+
+// ErrPermanent marks read errors that no retry can fix.
+var ErrPermanent = errors.New("permanent I/O error")
+
+// ErrCorrupt marks data that arrived but failed validation; one re-read is
+// warranted before giving up.
+var ErrCorrupt = errors.New("corrupt data")
+
+// ErrShortRead marks a read that returned fewer bytes than requested —
+// a violated full-read-or-error contract, never silent truncation.
+var ErrShortRead = errors.New("short read")
+
+// IsTransient reports whether err is worth retrying as-is.
+func IsTransient(err error) bool { return errors.Is(err, ErrTransient) }
+
+// IsCorrupt reports whether err is a validation failure that warrants one
+// re-read of the underlying bytes.
+func IsCorrupt(err error) bool { return errors.Is(err, ErrCorrupt) }
+
+// Retryable reports whether a fault-tolerant caller should re-attempt the
+// operation that produced err: transient faults retry directly, corrupt
+// data retries once to get clean bytes. Permanent and unclassified errors
+// do not retry.
+func Retryable(err error) bool { return IsTransient(err) || IsCorrupt(err) }

@@ -13,6 +13,7 @@ package pfs
 
 import (
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -73,7 +74,7 @@ func (s *MemStore) Size(name string) (int64, error) {
 	if n, ok := s.virtual[name]; ok {
 		return n, nil
 	}
-	return 0, fmt.Errorf("pfs: object %q not found", name)
+	return 0, fmt.Errorf("pfs: object %q not found: %w", name, ErrPermanent)
 }
 
 // ReadAt implements Store.
@@ -89,10 +90,11 @@ func (s *MemStore) ReadAt(c *mpi.Comm, name string, off int64, buf []byte) error
 	case virt:
 		size = vsize
 	default:
-		return fmt.Errorf("pfs: object %q not found", name)
+		return fmt.Errorf("pfs: %s read: object %q not found: %w", rankLabel(c), name, ErrPermanent)
 	}
 	if off < 0 || off+int64(len(buf)) > size {
-		return fmt.Errorf("pfs: read [%d,%d) out of range of %q (size %d)", off, off+int64(len(buf)), name, size)
+		return fmt.Errorf("pfs: %s read [%d,%d) out of range of %q (size %d): %w",
+			rankLabel(c), off, off+int64(len(buf)), name, size, ErrShortRead)
 	}
 	if c != nil {
 		c.IORead(int64(len(buf)), 1)
@@ -136,12 +138,16 @@ func (s *DirStore) Size(name string) (int64, error) {
 	}
 	fi, err := os.Stat(p)
 	if err != nil {
-		return 0, fmt.Errorf("pfs: %w", err)
+		return 0, fmt.Errorf("pfs: %w (%w)", err, ErrPermanent)
 	}
 	return fi.Size(), nil
 }
 
-// ReadAt implements Store.
+// ReadAt implements Store with full-read-or-error semantics: a read that
+// the OS satisfies only partially (EOF inside the request, a shrunk or
+// still-growing file) surfaces as an ErrShortRead-classified error instead
+// of leaving the tail of buf stale — injected or real short reads can
+// never silently truncate a step record.
 func (s *DirStore) ReadAt(c *mpi.Comm, name string, off int64, buf []byte) error {
 	p, err := s.path(name)
 	if err != nil {
@@ -149,16 +155,33 @@ func (s *DirStore) ReadAt(c *mpi.Comm, name string, off int64, buf []byte) error
 	}
 	f, err := os.Open(p)
 	if err != nil {
-		return fmt.Errorf("pfs: %w", err)
+		return fmt.Errorf("pfs: %s open %q: %w (%w)", rankLabel(c), name, err, ErrPermanent)
 	}
 	defer f.Close()
 	if c != nil {
 		c.IORead(int64(len(buf)), 1)
 	}
-	if _, err := f.ReadAt(buf, off); err != nil {
-		return fmt.Errorf("pfs: read %q at %d: %w", name, off, err)
+	n, err := f.ReadAt(buf, off)
+	if n < len(buf) {
+		if err == nil || err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return fmt.Errorf("pfs: %s read %q [%d,%d): got %d bytes: %w (%w)",
+			rankLabel(c), name, off, off+int64(len(buf)), n, err, ErrShortRead)
+	}
+	if err != nil && err != io.EOF {
+		return fmt.Errorf("pfs: %s read %q at %d: %w", rankLabel(c), name, off, err)
 	}
 	return nil
+}
+
+// rankLabel renders the reading rank for error context ("rank 3", or
+// "rank ?" for rank-less reads like the construction-time scans).
+func rankLabel(c *mpi.Comm) string {
+	if c == nil {
+		return "rank ?"
+	}
+	return fmt.Sprintf("rank %d", c.Rank())
 }
 
 // Write creates or replaces a file.

@@ -1,0 +1,169 @@
+package pfs
+
+// RetryStore: the recovery half of the fault model (docs/faults.md).
+// It wraps any Store and retries transient read failures with capped
+// exponential backoff and deterministic jitter, so the layers above it
+// (mpiio, the fetch path) see either clean data or an error that is
+// genuinely worth degrading over. Collective reads especially depend on
+// this placement: a transient fault healed below MPI-IO never desynchronizes
+// a collective, because no rank ever observes it.
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// DefaultReadAttempts is the total ReadAt/Size attempts a RetryStore makes
+// before surfacing the error (1 initial try + 3 retries).
+const DefaultReadAttempts = 4
+
+// RetryConfig tunes a RetryStore. The zero value retries up to
+// DefaultReadAttempts times with no sleeping between attempts — the right
+// setting for deterministic tests; production callers set BaseDelay.
+type RetryConfig struct {
+	// MaxAttempts is the total attempts per operation (min 1; 0 means
+	// DefaultReadAttempts).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further retry
+	// doubles it, capped at MaxDelay. Zero disables sleeping entirely.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff (0 = 64*BaseDelay).
+	MaxDelay time.Duration
+	// Seed drives the deterministic jitter: the k-th retry of a given
+	// (object, offset) sleeps a reproducible fraction in [1/2, 1) of the
+	// capped backoff, so identically-seeded runs back off identically and
+	// concurrent ranks never thundering-herd in lockstep.
+	Seed uint64
+	// Sleep replaces time.Sleep (tests; nil = time.Sleep).
+	Sleep func(time.Duration)
+}
+
+// RetryStore wraps a Store with transparent retry of transient faults.
+// The happy path is a single delegated call plus one error check — it
+// allocates nothing and adds no measurable overhead.
+type RetryStore struct {
+	inner Store
+	cfg   RetryConfig
+
+	retries atomic.Int64
+	faults  atomic.Int64
+}
+
+// NewRetryStore wraps inner with the given retry policy.
+func NewRetryStore(inner Store, cfg RetryConfig) *RetryStore {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = DefaultReadAttempts
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 64 * cfg.BaseDelay
+	}
+	return &RetryStore{inner: inner, cfg: cfg}
+}
+
+// Retries returns the number of re-attempts performed so far (one fault
+// retried twice counts 2).
+func (s *RetryStore) Retries() int64 { return s.retries.Load() }
+
+// Faults returns the number of transient errors observed so far,
+// including ones that later healed.
+func (s *RetryStore) Faults() int64 { return s.faults.Load() }
+
+// backoff sleeps before retry attempt (1-based), applying the capped
+// exponential policy with deterministic jitter derived from (name, off,
+// attempt) — no global RNG, so schedules are reproducible by seed alone.
+func (s *RetryStore) backoff(name string, off int64, attempt int) {
+	if s.cfg.BaseDelay <= 0 {
+		return
+	}
+	d := s.cfg.BaseDelay << (attempt - 1)
+	if d > s.cfg.MaxDelay || d <= 0 {
+		d = s.cfg.MaxDelay
+	}
+	// Jitter into [d/2, d): mix the site identity through splitmix64 and
+	// scale by a 24-bit fraction (no overflow for any sane delay).
+	h := hashSite(s.cfg.Seed, name, off, uint64(attempt))
+	d = d/2 + time.Duration(uint64(d/2)*(h>>40)>>24)
+	if s.cfg.Sleep != nil {
+		s.cfg.Sleep(d)
+	} else {
+		time.Sleep(d)
+	}
+}
+
+// Size implements Store, retrying transient probe failures.
+func (s *RetryStore) Size(name string) (int64, error) {
+	n, err := s.inner.Size(name)
+	for attempt := 1; err != nil && IsTransient(err) && attempt < s.cfg.MaxAttempts; attempt++ {
+		s.faults.Add(1)
+		s.backoff(name, -1, attempt)
+		s.retries.Add(1)
+		n, err = s.inner.Size(name)
+	}
+	if err != nil && IsTransient(err) {
+		s.faults.Add(1)
+		err = fmt.Errorf("pfs: size %q still failing after %d attempts: %w", name, s.cfg.MaxAttempts, err)
+	}
+	return n, err
+}
+
+// ReadAt implements Store, retrying transient read failures with capped
+// exponential backoff. Non-transient errors (permanent, corrupt,
+// unclassified) return immediately; a transient error that survives
+// MaxAttempts is returned wrapped with the attempt count (still
+// errors.Is-matching ErrTransient, so the caller can degrade knowingly).
+func (s *RetryStore) ReadAt(c *mpi.Comm, name string, off int64, buf []byte) error {
+	err := s.inner.ReadAt(c, name, off, buf)
+	for attempt := 1; err != nil && IsTransient(err) && attempt < s.cfg.MaxAttempts; attempt++ {
+		s.faults.Add(1)
+		s.backoff(name, off, attempt)
+		s.retries.Add(1)
+		err = s.inner.ReadAt(c, name, off, buf)
+	}
+	if err != nil && IsTransient(err) {
+		s.faults.Add(1)
+		err = fmt.Errorf("pfs: read %q at %d still failing after %d attempts: %w", name, off, s.cfg.MaxAttempts, err)
+	}
+	return err
+}
+
+// Write implements Store (writes pass through unretried: the pipeline's
+// write paths are preprocessing-time, not fault-injection targets).
+func (s *RetryStore) Write(name string, data []byte) error {
+	return s.inner.Write(name, data)
+}
+
+// hashSite mixes (seed, object name, offset, attempt) into a uniform
+// 64-bit value with FNV-1a over the name and a splitmix64 finalizer —
+// the deterministic randomness source shared by the retry jitter and the
+// fault-injection schedule (internal/faultinject).
+func hashSite(seed uint64, name string, off int64, attempt uint64) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= fnvPrime
+	}
+	h ^= seed
+	h *= fnvPrime
+	h ^= uint64(off)
+	h *= fnvPrime
+	h ^= attempt
+	// splitmix64 finalizer: avalanche the FNV state so nearby offsets and
+	// attempts decorrelate.
+	h += 0x9e3779b97f4a7c15
+	h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+	h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+	return h ^ (h >> 31)
+}
+
+// HashSite exposes the deterministic site hash for the fault-injection
+// harness and tests.
+func HashSite(seed uint64, name string, off int64, attempt uint64) uint64 {
+	return hashSite(seed, name, off, attempt)
+}

@@ -1,0 +1,257 @@
+package pfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// flakyStore fails the first `fail` ReadAt/Size calls per operation kind
+// with the given error, then delegates to the inner store.
+type flakyStore struct {
+	inner      Store
+	err        error
+	failReads  int
+	failProbes int
+	reads      int
+	probes     int
+}
+
+func (s *flakyStore) Size(name string) (int64, error) {
+	s.probes++
+	if s.probes <= s.failProbes {
+		return 0, fmt.Errorf("flaky probe %d: %w", s.probes, s.err)
+	}
+	return s.inner.Size(name)
+}
+
+func (s *flakyStore) ReadAt(c *mpi.Comm, name string, off int64, buf []byte) error {
+	s.reads++
+	if s.reads <= s.failReads {
+		return fmt.Errorf("flaky read %d: %w", s.reads, s.err)
+	}
+	return s.inner.ReadAt(c, name, off, buf)
+}
+
+func (s *flakyStore) Write(name string, data []byte) error { return s.inner.Write(name, data) }
+
+func TestErrorClassification(t *testing.T) {
+	wrapped := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", ErrTransient))
+	if !IsTransient(wrapped) {
+		t.Error("wrapped transient not classified")
+	}
+	if IsTransient(fmt.Errorf("x: %w", ErrPermanent)) {
+		t.Error("permanent classified transient")
+	}
+	if !IsCorrupt(fmt.Errorf("x: %w", ErrCorrupt)) {
+		t.Error("wrapped corrupt not classified")
+	}
+	if !Retryable(fmt.Errorf("x: %w", ErrTransient)) || !Retryable(fmt.Errorf("x: %w", ErrCorrupt)) {
+		t.Error("transient/corrupt should be retryable")
+	}
+	if Retryable(fmt.Errorf("x: %w", ErrPermanent)) || Retryable(errors.New("unclassified")) {
+		t.Error("permanent/unclassified must not be retryable")
+	}
+	// Dual classification via two %w verbs: a short read that is also
+	// transient matches both sentinels.
+	dual := fmt.Errorf("got 3 bytes: %w (%w)", ErrShortRead, ErrTransient)
+	if !errors.Is(dual, ErrShortRead) || !IsTransient(dual) {
+		t.Error("dual %w classification broken")
+	}
+}
+
+func TestMemStoreErrorClassification(t *testing.T) {
+	st := NewMemStore()
+	st.Write("a", []byte("abc"))
+	if _, err := st.Size("missing"); !errors.Is(err, ErrPermanent) {
+		t.Errorf("missing Size = %v, want ErrPermanent", err)
+	}
+	if err := st.ReadAt(nil, "missing", 0, make([]byte, 1)); !errors.Is(err, ErrPermanent) {
+		t.Errorf("missing ReadAt = %v, want ErrPermanent", err)
+	}
+	err := st.ReadAt(nil, "a", 2, make([]byte, 5))
+	if !errors.Is(err, ErrShortRead) {
+		t.Errorf("out-of-range ReadAt = %v, want ErrShortRead", err)
+	}
+	// Error context: object, range, rank.
+	for _, want := range []string{`"a"`, "[2,7)", "rank ?"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing context %q", err, want)
+		}
+	}
+}
+
+// TestDirStoreShortRead pins the full-read-or-error contract: a read
+// extending past EOF (a shrunk or still-growing file) errors with
+// ErrShortRead instead of silently leaving the tail of the buffer stale.
+func TestDirStoreShortRead(t *testing.T) {
+	st, err := NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Write("obj", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	rerr := st.ReadAt(nil, "obj", 5, buf)
+	if rerr == nil {
+		t.Fatal("read past EOF succeeded")
+	}
+	if !errors.Is(rerr, ErrShortRead) {
+		t.Errorf("read past EOF = %v, want ErrShortRead", rerr)
+	}
+	if !errors.Is(rerr, io.ErrUnexpectedEOF) && !errors.Is(rerr, io.EOF) {
+		t.Errorf("read past EOF = %v, want an EOF cause", rerr)
+	}
+	for _, want := range []string{`"obj"`, "[5,13)", "got 5 bytes"} {
+		if !strings.Contains(rerr.Error(), want) {
+			t.Errorf("error %q missing context %q", rerr, want)
+		}
+	}
+	if err := st.ReadAt(nil, "obj", 2, buf); err != nil {
+		t.Errorf("full in-range read = %v", err)
+	}
+	if string(buf) != "23456789" {
+		t.Errorf("read %q", buf)
+	}
+	if err := st.ReadAt(nil, "missing", 0, buf); !errors.Is(err, ErrPermanent) && !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing open = %v, want ErrPermanent", err)
+	}
+}
+
+func TestRetryStoreHealsTransient(t *testing.T) {
+	inner := NewMemStore()
+	inner.Write("a", []byte("abcdef"))
+	fl := &flakyStore{inner: inner, err: ErrTransient, failReads: 2, failProbes: 1}
+	rs := NewRetryStore(fl, RetryConfig{})
+	if n, err := rs.Size("a"); err != nil || n != 6 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	buf := make([]byte, 3)
+	if err := rs.ReadAt(nil, "a", 1, buf); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != "bcd" {
+		t.Errorf("read %q", buf)
+	}
+	// 1 probe retry + 2 read retries; each observed transient counted.
+	if got := rs.Retries(); got != 3 {
+		t.Errorf("Retries = %d, want 3", got)
+	}
+	if got := rs.Faults(); got != 3 {
+		t.Errorf("Faults = %d, want 3", got)
+	}
+}
+
+func TestRetryStoreExhaustsBudget(t *testing.T) {
+	inner := NewMemStore()
+	inner.Write("a", []byte("abc"))
+	fl := &flakyStore{inner: inner, err: ErrTransient, failReads: 100}
+	rs := NewRetryStore(fl, RetryConfig{MaxAttempts: 3})
+	err := rs.ReadAt(nil, "a", 0, make([]byte, 3))
+	if err == nil {
+		t.Fatal("exhausted retries succeeded")
+	}
+	if !IsTransient(err) {
+		t.Errorf("exhausted error = %v, still wants ErrTransient for the degrade decision", err)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Errorf("error %q missing attempt count", err)
+	}
+	if fl.reads != 3 {
+		t.Errorf("inner reads = %d, want 3", fl.reads)
+	}
+	if rs.Retries() != 2 {
+		t.Errorf("Retries = %d, want 2", rs.Retries())
+	}
+}
+
+func TestRetryStoreDoesNotRetryPermanentOrCorrupt(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		err  error
+	}{{"permanent", ErrPermanent}, {"corrupt", ErrCorrupt}, {"unclassified", errors.New("weird")}} {
+		inner := NewMemStore()
+		inner.Write("a", []byte("abc"))
+		fl := &flakyStore{inner: inner, err: tc.err, failReads: 100}
+		rs := NewRetryStore(fl, RetryConfig{})
+		if err := rs.ReadAt(nil, "a", 0, make([]byte, 3)); err == nil {
+			t.Fatalf("%s: read succeeded", tc.name)
+		}
+		if fl.reads != 1 {
+			t.Errorf("%s: inner reads = %d, want 1 (no retry)", tc.name, fl.reads)
+		}
+		if rs.Retries() != 0 {
+			t.Errorf("%s: Retries = %d, want 0", tc.name, rs.Retries())
+		}
+	}
+}
+
+// TestRetryStoreBackoffDeterministic pins the backoff policy: capped
+// exponential with jitter in [d/2, d), reproducible from the seed alone.
+func TestRetryStoreBackoffDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		inner := NewMemStore()
+		inner.Write("a", []byte("abc"))
+		fl := &flakyStore{inner: inner, err: ErrTransient, failReads: 4}
+		var slept []time.Duration
+		rs := NewRetryStore(fl, RetryConfig{
+			MaxAttempts: 5,
+			BaseDelay:   10 * time.Millisecond,
+			MaxDelay:    40 * time.Millisecond,
+			Seed:        42,
+			Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		})
+		if err := rs.ReadAt(nil, "a", 0, make([]byte, 3)); err != nil {
+			t.Fatal(err)
+		}
+		return slept
+	}
+	a, b := run(), run()
+	if len(a) != 4 {
+		t.Fatalf("slept %d times, want 4", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff not deterministic: %v vs %v", a, b)
+		}
+	}
+	// Capped exponential envelope: attempt k's nominal delay is
+	// min(Base<<k-1, Max); jitter keeps it in [d/2, d).
+	for i, nominal := range []time.Duration{10, 20, 40, 40} {
+		d := nominal * time.Millisecond
+		if a[i] < d/2 || a[i] >= d {
+			t.Errorf("attempt %d slept %v, want [%v,%v)", i+1, a[i], d/2, d)
+		}
+	}
+}
+
+// TestHashSiteDecorrelates sanity-checks the shared deterministic
+// randomness source: distinct sites, seeds and attempts give distinct
+// hashes, identical inputs identical ones.
+func TestHashSiteDecorrelates(t *testing.T) {
+	if HashSite(1, "a", 0, 0) != HashSite(1, "a", 0, 0) {
+		t.Error("hash not deterministic")
+	}
+	seen := map[uint64]string{}
+	for _, name := range []string{"a", "b", "step_0001.dat"} {
+		for off := int64(-1); off < 3; off++ {
+			for att := uint64(0); att < 3; att++ {
+				for seed := uint64(0); seed < 3; seed++ {
+					h := HashSite(seed, name, off, att)
+					key := fmt.Sprintf("%s/%d/%d/%d", name, off, att, seed)
+					if prev, dup := seen[h]; dup {
+						t.Fatalf("hash collision: %s and %s", prev, key)
+					}
+					seen[h] = key
+				}
+			}
+		}
+	}
+}

@@ -160,16 +160,24 @@ func DecodeStep(raw []byte) []float32 {
 // DecodeStepInto unpacks step-file bytes into dst, growing it as needed,
 // and returns the decoded slice. Buffer ownership: the result aliases dst's
 // backing array (when large enough) and is owned by the caller; raw is only
-// read. It returns an error when len(raw) is not a multiple of the float32
-// record size — the trailing bytes of a truncated or corrupt step object
-// must fail loudly instead of being dropped.
+// read. It returns an error wrapping pfs.ErrCorrupt when len(raw) is not a
+// multiple of the float32 record size, or when a record holds a non-finite
+// value (NaN/Inf) — the solver only ever emits finite components, so a
+// non-finite word is a corrupted record, not data. Callers treat corrupt
+// records as retryable-once: a re-read may return clean bytes (pfs.Retryable).
+// Bit flips that land on finite, plausible values are indistinguishable from
+// data and are out of the fault model's scope (docs/faults.md).
 func DecodeStepInto(dst []float32, raw []byte) ([]float32, error) {
 	if len(raw)%4 != 0 {
-		return nil, fmt.Errorf("quake: step record of %d bytes is not a whole number of float32s (corrupt or truncated step object)", len(raw))
+		return nil, fmt.Errorf("quake: step record of %d bytes is not a whole number of float32s (truncated step object): %w", len(raw), pfs.ErrCorrupt)
 	}
 	dst = pool.Grow(dst, len(raw)/4)
 	for i := range dst {
-		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		bits := binary.LittleEndian.Uint32(raw[4*i:])
+		if bits&0x7f800000 == 0x7f800000 {
+			return nil, fmt.Errorf("quake: non-finite float32 %#08x at record word %d of step object: %w", bits, i, pfs.ErrCorrupt)
+		}
+		dst[i] = math.Float32frombits(bits)
 	}
 	return dst, nil
 }

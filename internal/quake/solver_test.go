@@ -1,7 +1,9 @@
 package quake
 
 import (
+	"errors"
 	"math"
+	"strings"
 	"testing"
 
 	"repro/internal/mesh"
@@ -321,6 +323,42 @@ func TestDecodeStepRejectsTruncatedRecord(t *testing.T) {
 		}
 	}()
 	DecodeStep(raw[:5])
+}
+
+// TestDecodeStepRejectsNonFinite pins the record validation the fault
+// model's corruption detection rests on (docs/faults.md): a NaN or Inf
+// component — the pattern bit-flip injection produces — fails the decode
+// with an error classified pfs.ErrCorrupt, so the caller re-reads for
+// clean bytes instead of rendering garbage.
+func TestDecodeStepRejectsNonFinite(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		bad  float32
+	}{
+		{"nan", float32(math.NaN())},
+		{"+inf", float32(math.Inf(1))},
+		{"-inf", float32(math.Inf(-1))},
+	} {
+		raw := EncodeStep([]float32{1, tc.bad, 3})
+		_, err := DecodeStepInto(nil, raw)
+		if err == nil {
+			t.Fatalf("%s record decoded without error", tc.name)
+		}
+		if !errors.Is(err, pfs.ErrCorrupt) {
+			t.Errorf("%s error = %v, want pfs.ErrCorrupt classification", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), "word 1") {
+			t.Errorf("%s error %q missing record index", tc.name, err)
+		}
+	}
+	if _, err := DecodeStepInto(nil, EncodeStep([]float32{1, 2, 3})); err != nil {
+		t.Errorf("finite record rejected: %v", err)
+	}
+	// The truncation error carries the same classification.
+	raw := EncodeStep([]float32{1, 2, 3})
+	if _, err := DecodeStepInto(nil, raw[:len(raw)-1]); !errors.Is(err, pfs.ErrCorrupt) {
+		t.Errorf("truncation error = %v, want pfs.ErrCorrupt classification", err)
+	}
 }
 
 // TestDecodeStepIntoReusesBuffer pins the Into contract: with a buffer of
