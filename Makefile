@@ -4,7 +4,7 @@
 #   make check   # build + vet + fmt + godoc lint + test + race: what CI should run
 #   make ci      # check plus the perf regression gates (REPRO_PERF_ASSERT)
 #   make bench   # paper-figure and hot-kernel benchmarks
-#   make fuzz    # short fuzz sessions for the datatype and RLE codecs
+#   make fuzz    # short fuzz sessions for the datatype, RLE and wire codecs
 GO ?= go
 
 .PHONY: build test race vet fmtcheck doccheck bench check ci fuzz
@@ -16,11 +16,13 @@ test:
 	$(GO) test ./...
 
 # The worker-pool renderer, LIC convolution, compositor, pipeline, the
-# persistent worker pool and the fault-injection harness (whose chaos
+# persistent worker pool, the fault-injection harness (whose chaos
 # suite in internal/core races injected faults against free-running
-# ranks) are the concurrent subsystems; run them under the race detector.
+# ranks) and the network transport (whose whole mpi suite runs a TCP
+# loopback leg, reader goroutines racing senders) are the concurrent
+# subsystems; run them under the race detector.
 race:
-	$(GO) test -race ./internal/render/... ./internal/lic/... ./internal/core/... ./internal/compositor/... ./internal/workers/... ./internal/faultinject/... ./internal/pfs/... ./internal/mpiio/...
+	$(GO) test -race ./internal/render/... ./internal/lic/... ./internal/core/... ./internal/compositor/... ./internal/workers/... ./internal/faultinject/... ./internal/pfs/... ./internal/mpiio/... ./internal/mpi/...
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +49,7 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/lic/
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/core/
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/workers/
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/mpi/
 
 check: build vet fmtcheck doccheck test race
 
@@ -66,9 +69,9 @@ ci: check
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestSpMVSpeedupGate' -v ./internal/quake/
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestCompositeStripSpeedupGate' -v ./internal/compositor/
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestDecodeChainSpeedupGate' -v ./internal/core/
-	$(GO) test -run 'AllocFree|AllocBudget|ArenaReuse' -v ./internal/compositor/ ./internal/render/ ./internal/lic/ ./internal/quadtree/ ./internal/core/ ./internal/mpiio/ ./internal/workers/
+	$(GO) test -run 'AllocFree|AllocBudget|ArenaReuse' -v ./internal/compositor/ ./internal/render/ ./internal/lic/ ./internal/quadtree/ ./internal/core/ ./internal/mpiio/ ./internal/workers/ ./internal/mpi/
 	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/core/
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/compositor/ ./internal/lic/ ./internal/render/ ./internal/mpiio/ ./internal/core/ ./internal/workers/
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/compositor/ ./internal/lic/ ./internal/render/ ./internal/mpiio/ ./internal/core/ ./internal/workers/ ./internal/mpi/
 
 # Short exploratory fuzz sessions; the committed seeds alone run in `test`.
 fuzz:
@@ -79,3 +82,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzCompositeRLEStream$$' -fuzztime=30s ./internal/compositor/
 	$(GO) test -run='^$$' -fuzz='^FuzzCompositeRLEGarbage$$' -fuzztime=30s ./internal/compositor/
 	$(GO) test -run='^$$' -fuzz='^FuzzFaultSchedule$$' -fuzztime=30s ./internal/faultinject/
+	$(GO) test -run='^$$' -fuzz='^FuzzNetFrameDecode$$' -fuzztime=30s ./internal/mpi/

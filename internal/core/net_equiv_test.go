@@ -1,0 +1,275 @@
+package core
+
+// PR 7's cross-transport equivalence suite: the same pipeline binary run
+// over the wall-clock transport (RunReal), the discrete-event simulator
+// (RunSim) and the TCP network backend (loopback RunNet) must produce
+// bit-identical frames and identical per-rank message accounting. The
+// network leg serializes every payload through the wire codecs and
+// decodes into receiver-side pools, so this pins the whole
+// encode/decode/ownership chain against the in-process reference —
+// including the golden checksum, fault injection (chaos schedules are
+// pure functions of seed/object/offset, so they replay exactly over the
+// net), and the steady-state allocation guarantee once connections are
+// warm.
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/mpi"
+	"repro/internal/pfs"
+	"repro/internal/pool"
+)
+
+// commStats is the per-rank accounting compared across transports.
+type commStats struct {
+	MsgsSent, MsgsRecv   int
+	BytesSent, BytesRecv int64
+}
+
+// transportRun adapts one of the three transports to a common shape.
+type transportRun func(t *testing.T, n int, body func(c *mpi.Comm))
+
+func overReal(t *testing.T, n int, body func(c *mpi.Comm)) { mpi.RunReal(n, body) }
+
+func overSim(t *testing.T, n int, body func(c *mpi.Comm)) {
+	cfg := mpi.SimConfig{OutBW: 1e8, InBW: 1e8, DiskClientBW: 5e7, DiskAggBW: 4e8}
+	mpi.RunSim(n, cfg, body)
+}
+
+func overNet(t *testing.T, n int, body func(c *mpi.Comm)) {
+	t.Helper()
+	if _, err := mpi.RunNet(n, body); err != nil {
+		t.Fatalf("RunNet: %v", err)
+	}
+}
+
+// runPipelineOver runs a fresh workload and pipeline over the given
+// transport and returns the frames, the result, and each rank's
+// accounting snapshot taken after its Run returned.
+func runPipelineOver(t *testing.T, store pfs.Store, l Layout, opts Options, run transportRun) (*RealWorkload, *Result, []commStats) {
+	t.Helper()
+	w, err := NewRealWorkload(l, opts, store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	p, err := NewPipeline(l, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := make([]commStats, l.WorldSize())
+	var mu sync.Mutex
+	var runErr error
+	run(t, l.WorldSize(), func(c *mpi.Comm) {
+		err := p.Run(c)
+		mu.Lock()
+		if err != nil && runErr == nil {
+			runErr = err
+		}
+		stats[c.Rank()] = commStats{c.MsgsSent, c.MsgsRecv, c.BytesSent, c.BytesRecv}
+		mu.Unlock()
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return w, p.Res, stats
+}
+
+// requireSameTraffic demands identical per-rank accounting: the network
+// transport must exchange exactly the messages the in-process transports
+// do — same count, same declared bytes, rank by rank.
+func requireSameTraffic(t *testing.T, name string, ref, got []commStats) {
+	t.Helper()
+	for r := range ref {
+		if ref[r] != got[r] {
+			t.Errorf("%s: rank %d traffic %+v, want %+v", name, r, got[r], ref[r])
+		}
+	}
+}
+
+// TestCrossTransportGoldenEquivalence runs the golden configuration over
+// all three transports: frames bit-identical, per-rank accounting
+// identical, and the network leg reproduces the golden checksum.
+func TestCrossTransportGoldenEquivalence(t *testing.T) {
+	const steps = 3
+	store := buildDataset(t, steps)
+	l := Layout{Groups: 2, IPsPerGroup: 1, Renderers: 3, Outputs: 1}
+	opts := smallOpts(48, 48)
+	ref, refRes, refStats := runPipelineOver(t, store, l, opts, overReal)
+	for name, run := range map[string]transportRun{"sim": overSim, "net": overNet} {
+		got, res, stats := runPipelineOver(t, store, l, opts, run)
+		if res.Frames != refRes.Frames {
+			t.Fatalf("%s: %d frames, want %d", name, res.Frames, refRes.Frames)
+		}
+		requireFramesEqual(t, ref, got, steps)
+		requireSameTraffic(t, name, refStats, stats)
+		if name == "net" && runtime.GOARCH == "amd64" {
+			h := fnv.New64a()
+			for step := 0; step < steps; step++ {
+				h.Write(quantizeFrame(got.Frame(step)))
+			}
+			if sum := h.Sum64(); sum != goldenFrameSum {
+				t.Errorf("net golden checksum = %#x, want %#x", sum, goldenFrameSum)
+			}
+		}
+	}
+}
+
+// TestCrossTransportCollectiveEquivalence exercises the heavier wire
+// paths — collective reads (piece-batch shuffle), LIC underlay payloads,
+// RLE-compressed fragments and multi-rank input groups — and demands the
+// network run match the wall-clock run bit for bit with identical
+// accounting.
+func TestCrossTransportCollectiveEquivalence(t *testing.T) {
+	const steps = 2
+	store := buildDataset(t, steps)
+	l := Layout{Groups: 2, IPsPerGroup: 2, Renderers: 2, Outputs: 1}
+	opts := smallOpts(40, 40)
+	opts.ReadStrategy = ReadCollective
+	opts.LIC = true
+	opts.LICSize = 32
+	opts.Compress = true
+	ref, refRes, refStats := runPipelineOver(t, store, l, opts, overReal)
+	got, res, stats := runPipelineOver(t, store, l, opts, overNet)
+	if res.Frames != refRes.Frames {
+		t.Fatalf("net: %d frames, want %d", res.Frames, refRes.Frames)
+	}
+	requireFramesEqual(t, ref, got, steps)
+	requireSameTraffic(t, "net", refStats, stats)
+}
+
+// TestCrossTransportDirectSendEquivalence covers the remaining
+// compositor wire shapes (direct-send exchange) over the network.
+func TestCrossTransportDirectSendEquivalence(t *testing.T) {
+	const steps = 2
+	store := buildDataset(t, steps)
+	l := Layout{Groups: 1, IPsPerGroup: 1, Renderers: 3, Outputs: 2}
+	opts := smallOpts(40, 40)
+	opts.Compositor = CompositeDirectSend
+	ref, refRes, refStats := runPipelineOver(t, store, l, opts, overReal)
+	got, res, stats := runPipelineOver(t, store, l, opts, overNet)
+	if res.Frames != refRes.Frames {
+		t.Fatalf("net: %d frames, want %d", res.Frames, refRes.Frames)
+	}
+	requireFramesEqual(t, ref, got, steps)
+	requireSameTraffic(t, "net", refStats, stats)
+}
+
+// TestChaosOverNet replays a fixed-seed healable fault schedule with the
+// pipeline distributed over the TCP transport. Fault schedules are pure
+// functions of (seed, object, offset), so the same retries fire in the
+// same places as in-process, and the run must converge to frames
+// bit-identical to a clean wall-clock run with the usual exact
+// accounting: every fault healed, nothing degraded.
+func TestChaosOverNet(t *testing.T) {
+	const steps = 3
+	store := buildDataset(t, steps)
+	l := Layout{Groups: 2, IPsPerGroup: 1, Renderers: 3, Outputs: 1}
+	ref, _, _ := runPipelineOver(t, store, l, tolerant(48, 48), overReal)
+
+	w, err := NewRealWorkload(l, tolerant(48, 48), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(w.Close)
+	inj := faultinject.Wrap(store, faultinject.Config{
+		Seed:       42,
+		PTransient: 0.5,
+		PShortRead: 0.2,
+		PCorrupt:   0.2,
+		Match:      stepObjectsOnly,
+	})
+	w.store = inj
+	p, err := NewPipeline(l, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overNet(t, l.WorldSize(), func(c *mpi.Comm) {
+		if err := p.Run(c); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+		}
+	})
+	st := inj.Stats()
+	if st.Transients+st.ShortReads+st.Corrupts == 0 {
+		t.Fatal("seed injected no faults: the chaos leg tests nothing")
+	}
+	if p.Res.FaultEvents == 0 || p.Res.Retries == 0 {
+		t.Errorf("faults fired but pipeline accounted none (events=%d retries=%d)",
+			p.Res.FaultEvents, p.Res.Retries)
+	}
+	if p.Res.StaleSteps != 0 || p.Res.DegradedFrames != 0 {
+		t.Errorf("healable schedule degraded the run: stale=%d degraded=%d",
+			p.Res.StaleSteps, p.Res.DegradedFrames)
+	}
+	requireFramesEqual(t, ref, w, steps)
+}
+
+// TestNetSendRecvAllocFree pins the steady-state allocation guarantee of
+// the network data path end to end: once connections, codec scratch and
+// receive pools are warm, a pooled-payload round trip — encode, socket
+// write, reader goroutine, frame decode into the receive pool, mailbox
+// delivery, release — must not allocate on either side. GC is disabled
+// around the measured window so the collector's own bookkeeping does not
+// pollute the malloc counter.
+func TestNetSendRecvAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	const warmup, rounds = 64, 256
+	var sendPool pool.Pool[dataPayload]
+	template := make([]byte, 512)
+	for i := range template {
+		template[i] = byte(i * 7)
+	}
+	var perRound float64
+	if _, err := mpi.RunNet(2, func(c *mpi.Comm) {
+		const tag = 21
+		if c.Rank() == 1 {
+			for i := 0; i < warmup+rounds; i++ {
+				m := c.Recv(0, tag)
+				dp := m.Data.(*dataPayload)
+				if len(dp.vals) != len(template) || len(dp.runs) != 2 {
+					panic(fmt.Sprintf("round %d: decoded %d vals / %d runs", i, len(dp.vals), len(dp.runs)))
+				}
+				dp.release()
+				c.Send(0, tag, 0, nil)
+			}
+			return
+		}
+		round := func() {
+			p := getData(&sendPool)
+			p.vals = append(p.vals[:0], template...)
+			p.runs = append(p.runs,
+				blockRun{Block: 1, Off: 0, Vals: p.vals[:256:256]},
+				blockRun{Block: 2, Off: 8, Vals: p.vals[256:512:512]})
+			c.Send(1, tag, int64(len(template)), p)
+			c.Recv(1, tag)
+		}
+		for i := 0; i < warmup; i++ {
+			round()
+		}
+		runtime.GC()
+		defer debug.SetGCPercent(debug.SetGCPercent(-1))
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		for i := 0; i < rounds; i++ {
+			round()
+		}
+		runtime.ReadMemStats(&after)
+		perRound = float64(after.Mallocs-before.Mallocs) / rounds
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// The hard target is zero; the budget tolerates the odd runtime
+	// internal (sudog refills, timer plumbing) without letting a
+	// per-message allocation (1.0/round) through.
+	if perRound > 0.2 {
+		t.Errorf("net round trip allocates %.2f allocs/round at steady state, want ~0", perRound)
+	}
+}

@@ -1,0 +1,181 @@
+package core
+
+// Wire codecs for the pipeline's data-plane payloads, so the real
+// workload runs unchanged over the network transport (mpi.RunNet /
+// mpi.Join).
+//
+// Ownership across the wire (docs/ownership.md "Serialization
+// boundary"): encoding releases the sender-pooled payload — the
+// transport is the sending side's consumer, exactly the signal the
+// sender's pool needs — and decoding draws a payload from this process's
+// receive pools, stamping the owner so the consuming rank's usual
+// release (Render for data pieces, Assemble for strips and the LIC
+// underlay) recycles it locally. Both sides therefore stay
+// allocation-free at steady state, and pixel/value bytes cross as exact
+// bit patterns, keeping frames bit-identical to RunReal.
+
+import (
+	"fmt"
+
+	"repro/internal/compositor"
+	"repro/internal/img"
+	"repro/internal/mpi"
+	"repro/internal/pool"
+)
+
+// Codec IDs 64–95 are reserved for internal/core (see
+// internal/mpi/codec.go).
+const (
+	codecDataPayload  mpi.CodecID = 64
+	codecStripPayload mpi.CodecID = 65
+	codecLICPayload   mpi.CodecID = 66
+)
+
+// Receive-side pools for net-decoded payloads.
+var (
+	netData   pool.Pool[dataPayload]
+	netStrips pool.Pool[stripPayload]
+	netLICs   pool.Pool[licPayload]
+)
+
+func init() {
+	mpi.RegisterCodec(codecDataPayload, (*dataPayload)(nil), mpi.Codec{Encode: encodeDataPayload, Decode: decodeDataPayload})
+	mpi.RegisterCodec(codecStripPayload, (*stripPayload)(nil), mpi.Codec{Encode: encodeStripPayload, Decode: decodeStripPayload})
+	mpi.RegisterCodec(codecLICPayload, (*licPayload)(nil), mpi.Codec{Encode: encodeLICPayload, Decode: decodeLICPayload})
+}
+
+// encodeDataPayload ships the run/bval structure plus the single backing
+// value buffer they all alias, in order — the aliasing is rebuilt on
+// decode, so the wire form carries each slice's length, not its bytes.
+func encodeDataPayload(buf []byte, v any) ([]byte, error) {
+	p := v.(*dataPayload)
+	buf = mpi.AppendU32(buf, uint32(len(p.runs)))
+	for i := range p.runs {
+		buf = mpi.AppendU32(buf, uint32(p.runs[i].Block))
+		buf = mpi.AppendU32(buf, uint32(p.runs[i].Off))
+		buf = mpi.AppendU32(buf, uint32(len(p.runs[i].Vals)))
+	}
+	buf = mpi.AppendU32(buf, uint32(len(p.bvals)))
+	for i := range p.bvals {
+		buf = mpi.AppendU32(buf, uint32(p.bvals[i].Block))
+		buf = mpi.AppendU32(buf, uint32(len(p.bvals[i].Vals)))
+	}
+	buf = mpi.AppendU32(buf, uint32(len(p.vals)))
+	buf = append(buf, p.vals...)
+	p.release() // transport is the sender-side consumer
+	return buf, nil
+}
+
+func decodeDataPayload(wire []byte) (any, error) {
+	r := mpi.NewWireReader(wire)
+	p := getData(&netData)
+	nruns := r.Len(12)
+	for i := 0; i < nruns; i++ {
+		p.runs = append(p.runs, blockRun{Block: r.I32(), Off: r.I32()})
+		p.voff = append(p.voff, int(r.U32()))
+	}
+	nbvals := r.Len(8)
+	for i := 0; i < nbvals; i++ {
+		p.bvals = append(p.bvals, blockVals{Block: r.I32()})
+		p.voff = append(p.voff, int(r.U32()))
+	}
+	vals := r.Bytes(int(r.U32()))
+	if err := r.Done(); err != nil {
+		p.release()
+		return nil, err
+	}
+	p.vals = pool.Grow(p.vals, len(vals))
+	copy(p.vals, vals)
+	// Rebuild the aliasing: voff temporarily holds each entry's length;
+	// runs come first in vals, then bvals, in order.
+	off := 0
+	for i := range p.runs {
+		n := p.voff[i]
+		if off+n > len(p.vals) {
+			p.release()
+			return nil, fmt.Errorf("core: data payload runs overrun %d backing bytes", len(p.vals))
+		}
+		p.runs[i].Vals = p.vals[off : off+n : off+n]
+		p.voff[i] = off
+		off += n
+	}
+	for i := range p.bvals {
+		n := p.voff[len(p.runs)+i]
+		if off+n > len(p.vals) {
+			p.release()
+			return nil, fmt.Errorf("core: data payload bvals overrun %d backing bytes", len(p.vals))
+		}
+		p.bvals[i].Vals = p.vals[off : off+n : off+n]
+		p.voff[len(p.runs)+i] = off
+		off += n
+	}
+	if off != len(p.vals) {
+		p.release()
+		return nil, fmt.Errorf("core: data payload uses %d of %d backing bytes", off, len(p.vals))
+	}
+	return p, nil
+}
+
+func encodeStripPayload(buf []byte, v any) ([]byte, error) {
+	sp := v.(*stripPayload)
+	buf = mpi.AppendU32(buf, uint32(int32(sp.Strip.Y0)))
+	buf = mpi.AppendU32(buf, uint32(int32(sp.Strip.H)))
+	buf = appendImgVal(buf, sp.Img)
+	sp.release() // returns the canvas to the sender's CompositeScratch
+	return buf, nil
+}
+
+func decodeStripPayload(wire []byte) (any, error) {
+	r := mpi.NewWireReader(wire)
+	sp := netStrips.Get()
+	sp.owner = &netStrips
+	sp.comp = nil // the canvas is sp.store, recycled with the struct
+	sp.Strip = compositor.Strip{Y0: int(r.I32()), H: int(r.I32())}
+	if err := readImgVal(&r, &sp.store); err != nil {
+		sp.Img = nil
+		sp.release()
+		return nil, err
+	}
+	sp.Img = &sp.store
+	return sp, nil
+}
+
+func encodeLICPayload(buf []byte, v any) ([]byte, error) {
+	lp := v.(*licPayload)
+	buf = appendImgVal(buf, &lp.Img)
+	lp.release() // transport is the sender-side consumer
+	return buf, nil
+}
+
+func decodeLICPayload(wire []byte) (any, error) {
+	r := mpi.NewWireReader(wire)
+	lp := netLICs.Get()
+	lp.owner = &netLICs
+	if err := readImgVal(&r, &lp.Img); err != nil {
+		lp.release()
+		return nil, err
+	}
+	return lp, nil
+}
+
+func appendImgVal(buf []byte, m *img.Image) []byte {
+	if m == nil {
+		return mpi.AppendU32(mpi.AppendU32(buf, 0), 0)
+	}
+	buf = mpi.AppendU32(buf, uint32(m.W))
+	buf = mpi.AppendU32(buf, uint32(m.H))
+	return mpi.AppendFloat32s(buf, m.Pix)
+}
+
+func readImgVal(r *mpi.WireReader, dst *img.Image) error {
+	w, h := int(r.U32()), int(r.U32())
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if w < 0 || h < 0 || (w > 0 && 4*w*h/(4*w) != h) || 4*w*h > r.Remaining() {
+		return fmt.Errorf("core: wire image %dx%d impossible for %d remaining bytes", w, h, r.Remaining())
+	}
+	dst.W, dst.H = w, h
+	dst.Pix = r.Float32s(dst.Pix, 4*w*h)
+	return r.Done()
+}

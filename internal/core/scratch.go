@@ -63,6 +63,7 @@ type stripPayload struct {
 	Strip compositor.Strip
 	comp  *compositor.CompositeScratch // canvas owner; nil for unpooled strips
 	owner *pool.Pool[stripPayload]
+	store img.Image // net-decoded payloads: pooled backing image Img points at
 }
 
 func (sp *stripPayload) release() {

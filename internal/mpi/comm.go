@@ -1,7 +1,7 @@
 // Package mpi provides the message-passing runtime the visualization
 // pipeline runs on. It mirrors the MPI subset used by the paper (blocking
 // and non-blocking point-to-point with tag matching, plus the collectives)
-// and runs over one of two interchangeable transports:
+// and runs over one of three interchangeable transports:
 //
 //   - a real transport (RunReal): ranks are goroutines on the local machine,
 //     messages move through mailboxes instantly, and time is wall-clock.
@@ -14,8 +14,16 @@
 //     paper-scale configurations (100M cells, 400 MB per timestep) and
 //     reproduce the paper's timing figures.
 //
+//   - a network transport (RunNet / Join): ranks are processes connected
+//     over TCP with length-prefixed frames and persistent per-peer
+//     connections; payloads cross the wire through the codec registry
+//     (RegisterCodec). Used to span real machines. RunNet hosts the ranks
+//     as in-process goroutines talking through real loopback sockets —
+//     the same wire path as the multi-process form — so tests can pin
+//     bit-identical behavior against RunReal.
+//
 // The pipeline code is written once against *Comm and behaves identically
-// under both transports.
+// under all transports.
 package mpi
 
 import "fmt"
@@ -29,6 +37,10 @@ const (
 // collTagBase is the start of the tag namespace reserved for collectives.
 // Application tags must stay below this value.
 const collTagBase = 1 << 24
+
+// maxTag is the upper bound of the tag space, used when a wildcard Recv is
+// widened into a tag range for the transport layer.
+const maxTag = int(^uint(0) >> 1)
 
 // Message is a received message. Bytes is the modeled payload size (drives
 // virtual transfer time under RunSim); Data is the actual payload, which may
@@ -58,11 +70,21 @@ func (r *Request) Wait() {
 // Done reports whether the operation has already completed.
 func (r *Request) Done() bool { return r.done }
 
-// world is the transport behind a communicator.
+// completedRequest is the shared completion handle returned by transports
+// whose sends complete before returning (the eager real and network
+// backends). Wait and Done never mutate a Request whose done flag is
+// already set, so a single immutable sentinel serves every such operation
+// without allocating per message on the hot send path.
+var completedRequest = &Request{done: true}
+
+// world is the transport behind a communicator. recv matches tags in the
+// inclusive range [tagLo, tagHi]; Comm.Recv widens AnyTag into the full
+// range, and sub-communicators narrow wildcards to their own tag window so
+// they cannot steal world or sibling-sub messages from a shared mailbox.
 type world interface {
 	send(c *Comm, dst, tag int, bytes int64, data any)
 	isend(c *Comm, dst, tag int, bytes int64, data any) *Request
-	recv(c *Comm, src, tag int) Message
+	recv(c *Comm, src, tagLo, tagHi int) Message
 	now(c *Comm) float64
 	compute(c *Comm, seconds float64)
 	ioRead(c *Comm, bytes int64, seeks int)
@@ -145,7 +167,11 @@ func (c *Comm) Recv(src, tag int) Message {
 	if src != AnySource {
 		c.checkPeer(src, "Recv")
 	}
-	m := c.w.recv(c, src, tag)
+	lo, hi := tag, tag
+	if tag == AnyTag {
+		lo, hi = 0, maxTag
+	}
+	m := c.w.recv(c, src, lo, hi)
 	c.BytesRecv += m.Bytes
 	c.MsgsRecv++
 	return m

@@ -15,10 +15,15 @@ func testCfg() SimConfig {
 	}
 }
 
+// runBoth (historical name) runs body on every transport: wall-clock
+// goroutines, the discrete-event kernel, and loopback TCP.
 func runBoth(t *testing.T, n int, body func(c *Comm)) {
 	t.Helper()
 	RunReal(n, body)
 	RunSim(n, testCfg(), body)
+	if _, err := RunNet(n, body); err != nil {
+		t.Fatalf("RunNet: %v", err)
+	}
 }
 
 func TestSendRecvBasic(t *testing.T) {

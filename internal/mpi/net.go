@@ -1,0 +1,662 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the network transport: each rank is a process (or an
+// in-process goroutine under RunNet) connected to every peer by one
+// persistent TCP connection carrying length-prefixed frames, multiplexed
+// by tag through the same mailbox matching the real transport uses.
+//
+// Bootstrap is a rendezvous: rank 0 listens on the agreed coordinator
+// address; every other rank dials it and registers (rank, listen
+// address). Once all ranks have registered, rank 0 sends each the full
+// address table over the registration connection — which then stays as
+// the 0<->r link — and rank r dials ranks 1..r-1 while accepting from
+// ranks r+1..size-1, so exactly one connection exists per pair.
+//
+// Wire format, all little-endian:
+//
+//	frame  = [len u32] [tag u64] [bytes u64] [value]
+//	value  = [codec id u16] [len u32] [payload]   (see codec.go)
+//
+// len counts everything after itself. Self-sends never touch the wire:
+// they deliver by reference, exactly like RunReal, preserving the
+// in-process ownership rules for a rank talking to itself.
+
+const (
+	// netMagic prefixes every bootstrap message so a stray connection is
+	// rejected instead of desynchronizing the rendezvous.
+	netMagic = 0x514b5256 // "QKRV"
+
+	hsRegister = 1 // peer -> coordinator: rank + listen address
+	hsHello    = 2 // peer -> lower-ranked peer: rank introduction
+	hsTable    = 3 // coordinator -> peer: the full address table
+
+	// netFrameMeta is the fixed tag+bytes portion of a frame body.
+	netFrameMeta = 16
+
+	// maxNetFrame bounds a frame's declared length; anything larger is
+	// rejected as hostile/corrupt before any allocation happens.
+	maxNetFrame = 1 << 30
+
+	// maxNetAddrLen bounds an advertised listen address in bootstrap
+	// messages.
+	maxNetAddrLen = 1 << 10
+)
+
+// NetConfig describes one rank's attachment to the network transport.
+type NetConfig struct {
+	// Rank is this process's rank in [0, Size).
+	Rank int
+	// Size is the total number of ranks in the job.
+	Size int
+	// Coordinator is the host:port rank 0 listens on for the rendezvous.
+	// Every rank must agree on it: rank 0 binds it, the others dial it.
+	Coordinator string
+	// Listen is the address this rank binds for incoming peer
+	// connections (default "127.0.0.1:0"). The resolved address is
+	// advertised to peers, so for a multi-machine job it must carry a
+	// host reachable from them. Unused by rank 0 and the highest rank,
+	// which accept no peer connections beyond the rendezvous.
+	Listen string
+	// DialTimeout bounds the whole bootstrap — dials, retries, and
+	// handshake reads (default 10s).
+	DialTimeout time.Duration
+
+	// listener, when non-nil, is a pre-bound coordinator listener rank 0
+	// adopts instead of binding Coordinator itself (RunNet binds :0
+	// first so the port is known before the ranks start).
+	listener net.Listener
+}
+
+// NetWorld is one rank's live attachment to the network transport,
+// returned by Join. The zero value is not usable.
+type NetWorld struct {
+	w    *netWorld
+	comm *Comm
+}
+
+// Comm returns the communicator for this rank. All pipeline code runs
+// against it exactly as under RunReal or RunSim.
+func (nw *NetWorld) Comm() *Comm { return nw.comm }
+
+// Close tears the transport down: it closes every peer connection and
+// this rank's listener and waits for the reader goroutines to drain.
+// Close only after all communication has completed (e.g. after a final
+// Barrier); in-flight unmatched messages are dropped. Close is
+// idempotent.
+func (nw *NetWorld) Close() error {
+	nw.w.closeConns()
+	nw.w.readers.Wait()
+	return nil
+}
+
+// netPeer is one persistent peer connection plus its reusable encode
+// buffer. The mutex serializes senders (a rank's own goroutine and any
+// sub-communicator traffic share the underlying link).
+type netPeer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  []byte
+}
+
+// netWorld implements world over TCP.
+type netWorld struct {
+	start time.Time
+	rank  int
+	size  int
+	box   *mailbox
+	peers []*netPeer // peers[rank] is nil (self-sends bypass the wire)
+	ln    net.Listener
+
+	readers   sync.WaitGroup
+	closed    atomic.Bool
+	closeOnce sync.Once
+}
+
+// Join attaches this process to the job described by cfg, performing the
+// rendezvous and establishing one connection per peer. It returns once
+// every pairwise link is up; pipeline code can then use Comm freely. A
+// fatal transport error after Join (dead peer, malformed frame) poisons
+// the mailbox and panics the rank blocked on it.
+func Join(cfg NetConfig) (*NetWorld, error) {
+	if cfg.Size <= 0 {
+		return nil, fmt.Errorf("mpi: Join needs at least one rank, got size %d", cfg.Size)
+	}
+	if cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("mpi: Join rank %d out of range [0,%d)", cfg.Rank, cfg.Size)
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 10 * time.Second
+	}
+	w := &netWorld{
+		start: time.Now(),
+		rank:  cfg.Rank,
+		size:  cfg.Size,
+		box:   newMailbox(),
+		peers: make([]*netPeer, cfg.Size),
+	}
+	if cfg.Size > 1 {
+		deadline := time.Now().Add(cfg.DialTimeout)
+		var err error
+		if cfg.Rank == 0 {
+			err = w.bootstrapRoot(cfg, deadline)
+		} else {
+			err = w.bootstrapPeer(cfg, deadline)
+		}
+		if err != nil {
+			w.closeConns()
+			return nil, err
+		}
+		for r, p := range w.peers {
+			if p == nil {
+				continue
+			}
+			// Handshake deadlines are done; frames block indefinitely.
+			p.conn.SetDeadline(time.Time{})
+			w.readers.Add(1)
+			go w.readLoop(r, p.conn)
+		}
+	}
+	return &NetWorld{w: w, comm: &Comm{rank: cfg.Rank, size: cfg.Size, w: w}}, nil
+}
+
+// bootstrapRoot runs rank 0's side of the rendezvous: accept a
+// registration from every peer, then send each the address table.
+func (w *netWorld) bootstrapRoot(cfg NetConfig, deadline time.Time) error {
+	ln := cfg.listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Coordinator)
+		if err != nil {
+			return fmt.Errorf("mpi: coordinator listen on %q: %w", cfg.Coordinator, err)
+		}
+	}
+	w.ln = ln
+	setListenerDeadline(ln, deadline)
+	defer setListenerDeadline(ln, time.Time{})
+	addrs := make([]string, cfg.Size)
+	for got := 0; got < cfg.Size-1; got++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("mpi: coordinator accept (have %d/%d registrations): %w", got, cfg.Size-1, err)
+		}
+		conn.SetDeadline(deadline)
+		kind, r, addr, err := readHandshake(conn)
+		if err != nil || kind != hsRegister {
+			conn.Close()
+			return fmt.Errorf("mpi: bad registration on coordinator: kind %d, %v", kind, err)
+		}
+		if r < 1 || r >= cfg.Size || w.peers[r] != nil {
+			conn.Close()
+			return fmt.Errorf("mpi: registration for invalid or duplicate rank %d", r)
+		}
+		w.peers[r] = &netPeer{conn: conn}
+		addrs[r] = addr
+	}
+	for r := 1; r < cfg.Size; r++ {
+		if err := writeTable(w.peers[r].conn, addrs); err != nil {
+			return fmt.Errorf("mpi: sending address table to rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// bootstrapPeer runs rank >0's side: register with the coordinator,
+// receive the table, then dial every lower rank while accepting a hello
+// from every higher one.
+func (w *netWorld) bootstrapPeer(cfg NetConfig, deadline time.Time) error {
+	// Bind the peer listener before registering, so any rank that learns
+	// our address from the table can connect immediately (the kernel
+	// backlog holds early dials until we accept).
+	myAddr := ""
+	if cfg.Rank < cfg.Size-1 {
+		laddr := cfg.Listen
+		if laddr == "" {
+			laddr = "127.0.0.1:0"
+		}
+		ln, err := net.Listen("tcp", laddr)
+		if err != nil {
+			return fmt.Errorf("mpi: rank %d listen on %q: %w", cfg.Rank, laddr, err)
+		}
+		w.ln = ln
+		myAddr = ln.Addr().String()
+	}
+	conn, err := dialRetry(cfg.Coordinator, deadline)
+	if err != nil {
+		return fmt.Errorf("mpi: rank %d dialing coordinator %q: %w", cfg.Rank, cfg.Coordinator, err)
+	}
+	w.peers[0] = &netPeer{conn: conn}
+	conn.SetDeadline(deadline)
+	if err := writeHandshake(conn, hsRegister, cfg.Rank, myAddr); err != nil {
+		return fmt.Errorf("mpi: rank %d registering: %w", cfg.Rank, err)
+	}
+	addrs, err := readTable(conn, cfg.Size)
+	if err != nil {
+		return fmt.Errorf("mpi: rank %d reading address table: %w", cfg.Rank, err)
+	}
+
+	var acceptErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		acceptErr = w.acceptHellos(deadline, cfg.Size-1-cfg.Rank)
+	}()
+	for lower := 1; lower < cfg.Rank; lower++ {
+		pc, err := dialRetry(addrs[lower], deadline)
+		if err != nil {
+			<-done
+			return fmt.Errorf("mpi: rank %d dialing rank %d at %q: %w", cfg.Rank, lower, addrs[lower], err)
+		}
+		pc.SetDeadline(deadline)
+		if err := writeHandshake(pc, hsHello, cfg.Rank, ""); err != nil {
+			pc.Close()
+			<-done
+			return fmt.Errorf("mpi: rank %d hello to rank %d: %w", cfg.Rank, lower, err)
+		}
+		w.peers[lower] = &netPeer{conn: pc}
+	}
+	<-done
+	return acceptErr
+}
+
+// acceptHellos accepts want hello connections from higher-ranked peers.
+func (w *netWorld) acceptHellos(deadline time.Time, want int) error {
+	if want == 0 {
+		return nil
+	}
+	setListenerDeadline(w.ln, deadline)
+	defer setListenerDeadline(w.ln, time.Time{})
+	for got := 0; got < want; got++ {
+		conn, err := w.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("mpi: rank %d accept (have %d/%d hellos): %w", w.rank, got, want, err)
+		}
+		conn.SetDeadline(deadline)
+		kind, r, _, err := readHandshake(conn)
+		if err != nil || kind != hsHello {
+			conn.Close()
+			return fmt.Errorf("mpi: rank %d bad hello: kind %d, %v", w.rank, kind, err)
+		}
+		if r <= w.rank || r >= w.size || w.peers[r] != nil {
+			conn.Close()
+			return fmt.Errorf("mpi: rank %d hello from invalid or duplicate rank %d", w.rank, r)
+		}
+		w.peers[r] = &netPeer{conn: conn}
+	}
+	return nil
+}
+
+func (w *netWorld) send(c *Comm, dst, tag int, bytes int64, data any) {
+	if dst == c.rank {
+		// Reference delivery, no serialization: a rank talking to itself
+		// keeps the in-process ownership rules.
+		w.box.put(Message{Src: c.rank, Tag: tag, Bytes: bytes, Data: data})
+		return
+	}
+	p := w.peers[dst]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	buf := append(p.enc[:0], 0, 0, 0, 0)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(tag))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(bytes))
+	buf, err := appendValue(buf, data)
+	if err != nil {
+		panic(err)
+	}
+	if len(buf)-4 > maxNetFrame {
+		panic(fmt.Errorf("mpi: net frame of %d bytes exceeds limit %d", len(buf)-4, maxNetFrame))
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	p.enc = buf // keep the (possibly grown) buffer for reuse
+	if _, err := p.conn.Write(buf); err != nil {
+		panic(fmt.Errorf("mpi: net send to rank %d: %w", dst, err))
+	}
+}
+
+func (w *netWorld) isend(c *Comm, dst, tag int, bytes int64, data any) *Request {
+	// The kernel socket buffer gives enough asynchrony for the pipeline's
+	// credit-sized messages; large sends may block like Send does.
+	w.send(c, dst, tag, bytes, data)
+	return completedRequest
+}
+
+func (w *netWorld) recv(c *Comm, src, tagLo, tagHi int) Message {
+	return w.box.get(src, tagLo, tagHi)
+}
+
+func (w *netWorld) now(c *Comm) float64 { return time.Since(w.start).Seconds() }
+
+func (w *netWorld) compute(c *Comm, seconds float64) {} // real work takes real time
+
+func (w *netWorld) ioRead(c *Comm, bytes int64, seeks int) {} // real reads go through pfs
+
+func (w *netWorld) simulated() bool { return false }
+
+// fail poisons the mailbox with err and tears the connections down,
+// so both blocked receivers and the peer reader goroutines unwind.
+func (w *netWorld) fail(err error) {
+	w.box.fail(err)
+	w.closeConns()
+}
+
+// closeConns closes the listener and every peer connection once. It does
+// not wait for readers (fail runs on a reader goroutine); Close does.
+func (w *netWorld) closeConns() {
+	w.closeOnce.Do(func() {
+		w.closed.Store(true)
+		if w.ln != nil {
+			w.ln.Close()
+		}
+		for _, p := range w.peers {
+			if p != nil {
+				p.conn.Close()
+			}
+		}
+	})
+}
+
+// readLoop drains one peer connection into the mailbox until the stream
+// ends. A clean EOF or a teardown-induced error just exits; anything
+// else is a fatal transport error surfaced through the mailbox.
+func (w *netWorld) readLoop(src int, conn net.Conn) {
+	defer w.readers.Done()
+	br := bufio.NewReaderSize(conn, 64<<10)
+	var scratch []byte
+	for {
+		m, err := readFrame(br, &scratch)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) || w.closed.Load() {
+				return
+			}
+			w.fail(fmt.Errorf("mpi: net receive from rank %d: %w", src, err))
+			return
+		}
+		m.Src = src
+		w.box.put(m)
+	}
+}
+
+// readFrame reads and decodes one frame. The scratch buffer is reused
+// across frames; decoded payloads never alias it (codec contract). All
+// malformed input — hostile lengths, truncated frames, unknown codecs —
+// returns an error, never panics.
+func readFrame(br *bufio.Reader, scratch *[]byte) (Message, error) {
+	// The length prefix is read into the reused body scratch (a local
+	// [4]byte would escape through the io.Reader interface and put one
+	// heap object on every frame).
+	if cap(*scratch) < 4 {
+		*scratch = make([]byte, 4)
+	}
+	hdr := (*scratch)[:4]
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return Message{}, err // io.EOF here is a clean end of stream
+	}
+	n := int(binary.LittleEndian.Uint32(hdr))
+	if n < netFrameMeta+valueHdrLen || n > maxNetFrame {
+		return Message{}, fmt.Errorf("mpi: invalid net frame length %d", n)
+	}
+	body, err := readFrameBody(br, scratch, n)
+	if err != nil {
+		return Message{}, fmt.Errorf("mpi: net frame truncated: %w", err)
+	}
+	tag := binary.LittleEndian.Uint64(body)
+	nbytes := binary.LittleEndian.Uint64(body[8:])
+	if tag > uint64(maxTag) {
+		return Message{}, fmt.Errorf("mpi: net frame tag %#x out of range", tag)
+	}
+	if nbytes > 1<<62 {
+		return Message{}, fmt.Errorf("mpi: net frame byte count %#x out of range", nbytes)
+	}
+	v, rest, err := readValue(body[netFrameMeta:])
+	if err != nil {
+		return Message{}, err
+	}
+	if len(rest) != 0 {
+		return Message{}, fmt.Errorf("mpi: net frame has %d trailing bytes", len(rest))
+	}
+	return Message{Tag: int(tag), Bytes: int64(nbytes), Data: v}, nil
+}
+
+// readFrameBody reads the n-byte frame body into the reused scratch
+// buffer. When the scratch is already big enough (the steady state) this
+// is a single zero-allocation ReadFull; otherwise it grows in bounded
+// chunks as bytes actually arrive, so a hostile length prefix on a
+// truncated stream cannot force a huge up-front allocation.
+func readFrameBody(br *bufio.Reader, scratch *[]byte, n int) ([]byte, error) {
+	buf := *scratch
+	if cap(buf) >= n {
+		buf = buf[:n]
+		if _, err := io.ReadFull(br, buf); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf = buf[:0]
+	for got := 0; got < n; {
+		c := min(n-got, 1<<20)
+		if cap(buf) < got+c {
+			nbuf := make([]byte, got+c)
+			copy(nbuf, buf[:got])
+			buf = nbuf
+		} else {
+			buf = buf[:got+c]
+		}
+		*scratch = buf
+		if _, err := io.ReadFull(br, buf[got:got+c]); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		got += c
+	}
+	*scratch = buf
+	return buf, nil
+}
+
+// --- Bootstrap wire helpers ------------------------------------------------
+
+func setListenerDeadline(ln net.Listener, t time.Time) {
+	if d, ok := ln.(interface{ SetDeadline(time.Time) error }); ok {
+		d.SetDeadline(t)
+	}
+}
+
+// dialRetry dials addr until it succeeds or the deadline passes. The
+// coordinator may simply not be up yet; retrying is the rendezvous.
+func dialRetry(addr string, deadline time.Time) (net.Conn, error) {
+	for {
+		d := time.Until(deadline)
+		if d <= 0 {
+			return nil, fmt.Errorf("mpi: dial %q: rendezvous deadline exceeded", addr)
+		}
+		conn, err := net.DialTimeout("tcp", addr, d)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// writeHandshake sends one bootstrap message:
+// [magic u32][kind u8][rank u32][addr len u16][addr].
+func writeHandshake(conn net.Conn, kind byte, rank int, addr string) error {
+	if len(addr) > maxNetAddrLen {
+		return fmt.Errorf("mpi: advertised address of %d bytes too long", len(addr))
+	}
+	b := binary.LittleEndian.AppendUint32(nil, netMagic)
+	b = append(b, kind)
+	b = binary.LittleEndian.AppendUint32(b, uint32(rank))
+	b = binary.LittleEndian.AppendUint16(b, uint16(len(addr)))
+	b = append(b, addr...)
+	_, err := conn.Write(b)
+	return err
+}
+
+func readHandshake(conn net.Conn) (kind byte, rank int, addr string, err error) {
+	var hdr [11]byte
+	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, 0, "", err
+	}
+	if binary.LittleEndian.Uint32(hdr[:]) != netMagic {
+		return 0, 0, "", errors.New("mpi: bad bootstrap magic")
+	}
+	kind = hdr[4]
+	rank = int(int32(binary.LittleEndian.Uint32(hdr[5:])))
+	alen := int(binary.LittleEndian.Uint16(hdr[9:]))
+	if alen > maxNetAddrLen {
+		return 0, 0, "", fmt.Errorf("mpi: bootstrap address length %d too long", alen)
+	}
+	ab := make([]byte, alen)
+	if _, err = io.ReadFull(conn, ab); err != nil {
+		return 0, 0, "", err
+	}
+	return kind, rank, string(ab), nil
+}
+
+// writeTable sends the coordinator's address table:
+// [magic u32][kind u8][count u32]([len u16][addr])*.
+func writeTable(conn net.Conn, addrs []string) error {
+	b := binary.LittleEndian.AppendUint32(nil, netMagic)
+	b = append(b, hsTable)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(addrs)))
+	for _, a := range addrs {
+		if len(a) > maxNetAddrLen {
+			return fmt.Errorf("mpi: table address of %d bytes too long", len(a))
+		}
+		b = binary.LittleEndian.AppendUint16(b, uint16(len(a)))
+		b = append(b, a...)
+	}
+	_, err := conn.Write(b)
+	return err
+}
+
+func readTable(conn net.Conn, size int) ([]string, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(hdr[:]) != netMagic || hdr[4] != hsTable {
+		return nil, errors.New("mpi: bad address table header")
+	}
+	if n := int(binary.LittleEndian.Uint32(hdr[5:])); n != size {
+		return nil, fmt.Errorf("mpi: address table for %d ranks, want %d", n, size)
+	}
+	addrs := make([]string, size)
+	for i := range addrs {
+		var lb [2]byte
+		if _, err := io.ReadFull(conn, lb[:]); err != nil {
+			return nil, err
+		}
+		alen := int(binary.LittleEndian.Uint16(lb[:]))
+		if alen > maxNetAddrLen {
+			return nil, fmt.Errorf("mpi: table address length %d too long", alen)
+		}
+		ab := make([]byte, alen)
+		if _, err := io.ReadFull(conn, ab); err != nil {
+			return nil, err
+		}
+		addrs[i] = string(ab)
+	}
+	return addrs, nil
+}
+
+// --- Loopback harness ------------------------------------------------------
+
+// RunNet executes body on n ranks connected over loopback TCP — one
+// in-process goroutine per rank, each with its own transport state,
+// exchanging serialized frames through real kernel sockets exactly as
+// separate processes would — and blocks until all ranks return. It
+// returns the elapsed wall time and the first rank failure (bootstrap
+// error or recovered panic), tearing the remaining ranks down on error.
+func RunNet(n int, body func(c *Comm)) (float64, error) {
+	if n <= 0 {
+		panic("mpi: RunNet needs at least one rank")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return 0, fmt.Errorf("mpi: RunNet coordinator listen: %w", err)
+	}
+	start := time.Now()
+	coord := ln.Addr().String()
+	var (
+		mu       sync.Mutex
+		firstErr error
+		worlds   = make([]*NetWorld, n)
+	)
+	abort := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		ws := append([]*NetWorld(nil), worlds...)
+		mu.Unlock()
+		ln.Close()
+		for _, nw := range ws {
+			if nw != nil {
+				nw.w.fail(err)
+			}
+		}
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					err, ok := rec.(error)
+					if !ok {
+						err = fmt.Errorf("%v", rec)
+					}
+					abort(fmt.Errorf("mpi: RunNet rank %d: %w", rank, err))
+				}
+			}()
+			cfg := NetConfig{Rank: rank, Size: n, Coordinator: coord, DialTimeout: 30 * time.Second}
+			if rank == 0 {
+				cfg.listener = ln
+			}
+			nw, err := Join(cfg)
+			if err != nil {
+				abort(fmt.Errorf("mpi: RunNet rank %d join: %w", rank, err))
+				return
+			}
+			mu.Lock()
+			worlds[rank] = nw
+			aborted := firstErr != nil
+			mu.Unlock()
+			if aborted {
+				nw.w.fail(firstErr)
+				return
+			}
+			body(nw.Comm())
+		}(r)
+	}
+	wg.Wait()
+	for _, nw := range worlds {
+		if nw != nil {
+			nw.Close()
+		}
+	}
+	ln.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	return time.Since(start).Seconds(), firstErr
+}

@@ -1,0 +1,207 @@
+package mpi
+
+// Wire-level tests for the network transport: hostile and truncated
+// frames must surface as errors (never panics, never huge allocations),
+// the fuzz target hammers the same property, and the round-trip benchmark
+// seeds the loopback BENCH trajectory (BENCH_net.json).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+// buildTestFrame encodes one frame exactly the way netWorld.send does.
+func buildTestFrame(t testing.TB, tag int, nbytes int64, data any) []byte {
+	t.Helper()
+	buf := []byte{0, 0, 0, 0}
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(tag))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(nbytes))
+	buf, err := appendValue(buf, data)
+	if err != nil {
+		t.Fatalf("appendValue: %v", err)
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
+	return buf
+}
+
+// decodeTestFrame runs one frame (or garbage) through the reader path.
+func decodeTestFrame(b []byte) (Message, error) {
+	var scratch []byte
+	return readFrame(bufio.NewReader(bytes.NewReader(b)), &scratch)
+}
+
+func TestNetFrameRoundTrip(t *testing.T) {
+	for _, v := range []any{
+		nil, true, int(-7), int32(9), int64(-1 << 40), float32(1.5), 2.25,
+		"hello", []byte{1, 2, 3}, []int32{4, 5}, []int64{-6},
+		[]float32{0.5, -0.5}, []float64{3.25}, []any{int(1), "x", []byte{2}},
+	} {
+		frame := buildTestFrame(t, 17, 42, v)
+		m, err := decodeTestFrame(frame)
+		if err != nil {
+			t.Fatalf("%T: %v", v, err)
+		}
+		if m.Tag != 17 || m.Bytes != 42 {
+			t.Fatalf("%T: envelope %d/%d, want 17/42", v, m.Tag, m.Bytes)
+		}
+		want := buildTestFrame(t, 17, 42, m.Data)
+		if !bytes.Equal(frame, want) {
+			t.Errorf("%T: decoded value re-encodes differently", v)
+		}
+	}
+}
+
+// TestNetHostileFrames: every malformed input class returns an error —
+// never a panic — from the frame reader.
+func TestNetHostileFrames(t *testing.T) {
+	valid := buildTestFrame(t, 3, 8, []float32{1, 2})
+	cases := map[string][]byte{
+		"empty":        {},
+		"short header": {1, 2},
+		"zero length":  {0, 0, 0, 0},
+		"tiny length":  {5, 0, 0, 0, 1, 2, 3, 4, 5},
+		"huge length": binary.LittleEndian.AppendUint32(nil,
+			uint32(maxNetFrame+1)),
+		"truncated body": valid[:len(valid)-3],
+		"trailing bytes": nil, // filled below
+		"unknown codec":  nil,
+		"tag overflow":   nil,
+		"bytes overflow": nil,
+		"nested garbage": nil,
+		"value length":   nil,
+	}
+	// Body longer than the value it carries: one stray byte after the
+	// value, covered by the frame length, must be rejected.
+	f0 := append(buildTestFrame(t, 3, 8, "x"), 0xee)
+	binary.LittleEndian.PutUint32(f0, uint32(len(f0)-4))
+	cases["trailing bytes"] = f0
+	// Unknown codec id 0x7fff in an otherwise well-formed frame.
+	f := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint16(f[4+netFrameMeta:], 0x7fff)
+	cases["unknown codec"] = f
+	// Envelope tag above maxTag.
+	f = append([]byte{}, valid...)
+	binary.LittleEndian.PutUint64(f[4:], 1<<63)
+	cases["tag overflow"] = f
+	// Envelope byte count above the sanity bound.
+	f = append([]byte{}, valid...)
+	binary.LittleEndian.PutUint64(f[12:], 1<<63)
+	cases["bytes overflow"] = f
+	// []any whose element is truncated mid-header.
+	f = buildTestFrame(t, 3, 8, []any{"ok"})
+	cases["nested garbage"] = f[:len(f)-4]
+	// Value length prefix larger than the remaining payload.
+	f = buildTestFrame(t, 3, 8, "abcd")
+	binary.LittleEndian.PutUint32(f[4+netFrameMeta+2:], 1<<20)
+	cases["value length"] = f
+	for name, frame := range cases {
+		if frame == nil {
+			t.Fatalf("case %q not constructed", name)
+		}
+		if _, err := decodeTestFrame(frame); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+// TestWireReaderHostileCount: a count prefix claiming more elements than
+// the remaining bytes could possibly hold must latch the reader's error
+// and return zero — before any allocation sized by the count.
+func TestWireReaderHostileCount(t *testing.T) {
+	wire := binary.LittleEndian.AppendUint32(nil, 1<<30)
+	wire = append(wire, 1, 2, 3, 4, 5, 6, 7, 8)
+	r := NewWireReader(wire)
+	if n := r.Len(4); n != 0 {
+		t.Errorf("Len = %d for hostile count, want 0", n)
+	}
+	if r.Err() == nil {
+		t.Error("hostile element count accepted")
+	}
+	// Sticky error: later reads return zero values, Done reports it.
+	if got := r.U64(); got != 0 {
+		t.Errorf("read after latched error = %d, want 0", got)
+	}
+	if r.Done() == nil {
+		t.Error("Done() cleared a latched error")
+	}
+}
+
+// TestNetTruncatedStreamBoundsScratch: a hostile length prefix on a
+// stream that then dries up must fail with a truncation error after
+// allocating at most one growth chunk, not the full claimed frame.
+func TestNetTruncatedStreamBoundsScratch(t *testing.T) {
+	hdr := binary.LittleEndian.AppendUint32(nil, maxNetFrame)
+	body := make([]byte, 100) // far less than the claimed 1 GiB
+	var scratch []byte
+	_, err := readFrame(bufio.NewReader(bytes.NewReader(append(hdr, body...))), &scratch)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("err = %v, want truncation error", err)
+	}
+	if cap(scratch) > 2<<20 {
+		t.Errorf("scratch grew to %d bytes for a 100-byte stream", cap(scratch))
+	}
+}
+
+// FuzzNetFrameDecode: arbitrary bytes through the frame reader must
+// error or decode cleanly — never panic, never read out of bounds. The
+// committed seeds cover a valid frame for every builtin codec plus the
+// hostile classes from TestNetHostileFrames.
+func FuzzNetFrameDecode(f *testing.F) {
+	valid := buildTestFrame(f, 5, 16, []float32{1, 2, 3})
+	f.Add(valid)
+	f.Add(buildTestFrame(f, 1, 4, "seed"))
+	f.Add(buildTestFrame(f, 2, 8, []any{int64(1), []byte{2, 3}}))
+	f.Add(buildTestFrame(f, 0, 0, nil))
+	f.Add(valid[:len(valid)-5])                                   // truncated body
+	f.Add(binary.LittleEndian.AppendUint32(nil, maxNetFrame))     // hostile length, empty stream
+	f.Add(binary.LittleEndian.AppendUint32(nil, uint32(1<<31-1))) // length above the cap
+	hostile := append([]byte{}, valid...)
+	binary.LittleEndian.PutUint16(hostile[4+netFrameMeta:], 0x7fff) // unknown codec id
+	f.Add(hostile)
+	f.Fuzz(func(t *testing.T, b []byte) {
+		br := bufio.NewReader(bytes.NewReader(b))
+		var scratch []byte
+		for {
+			if _, err := readFrame(br, &scratch); err != nil {
+				break
+			}
+		}
+	})
+}
+
+// BenchmarkNetRoundTrip measures a warm two-rank loopback ping-pong of a
+// 64 KiB []byte through the full TCP stack: frame encode, socket write,
+// reader goroutine, frame decode, mailbox. Seeds the BENCH_net.json
+// trajectory (ROADMAP Open item 5).
+func BenchmarkNetRoundTrip(b *testing.B) {
+	payload := make([]byte, 64<<10)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	b.SetBytes(int64(len(payload)) * 2) // one round trip moves it twice
+	if _, err := RunNet(2, func(c *Comm) {
+		const tag = 11
+		n := int64(len(payload))
+		if c.Rank() == 0 {
+			// Warm the connections and scratch before timing.
+			c.Send(1, tag, n, payload)
+			c.Recv(1, tag)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				c.Send(1, tag, n, payload)
+				c.Recv(1, tag)
+			}
+			b.StopTimer()
+		} else {
+			for i := 0; i < b.N+1; i++ {
+				m := c.Recv(0, tag)
+				c.Send(0, tag, m.Bytes, m.Data)
+			}
+		}
+	}); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -17,6 +17,7 @@ type mailbox struct {
 	mu   sync.Mutex
 	cond *sync.Cond
 	msgs []Message
+	err  error // fatal transport error: get panics with it once the queue drains
 }
 
 func newMailbox() *mailbox {
@@ -25,8 +26,23 @@ func newMailbox() *mailbox {
 	return b
 }
 
-func matches(m Message, src, tag int) bool {
-	return (src == AnySource || m.Src == src) && (tag == AnyTag || m.Tag == tag)
+func matches(m Message, src, tagLo, tagHi int) bool {
+	return (src == AnySource || m.Src == src) && m.Tag >= tagLo && m.Tag <= tagHi
+}
+
+// takeMsg removes and returns s[i], preserving order. The vacated tail slot
+// is zeroed before the slice shrinks: the plain
+// append(s[:i], s[i+1:]...) delete keeps the old tail Message — and
+// therefore its Data payload — reachable through the slice's spare capacity
+// until some later send happens to overwrite the slot, pinning pooled or
+// GC-collectable buffers for an unbounded time on quiet mailboxes.
+func takeMsg(s *[]Message, i int) Message {
+	msgs := *s
+	m := msgs[i]
+	copy(msgs[i:], msgs[i+1:])
+	msgs[len(msgs)-1] = Message{}
+	*s = msgs[:len(msgs)-1]
+	return m
 }
 
 func (b *mailbox) put(m Message) {
@@ -36,15 +52,29 @@ func (b *mailbox) put(m Message) {
 	b.cond.Broadcast()
 }
 
-func (b *mailbox) get(src, tag int) Message {
+// fail poisons the mailbox: blocked and future get calls panic with err
+// once no matching message remains. Used by the network transport to
+// surface a dead peer connection to the rank blocked on it.
+func (b *mailbox) fail(err error) {
+	b.mu.Lock()
+	if b.err == nil {
+		b.err = err
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+func (b *mailbox) get(src, tagLo, tagHi int) Message {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
 		for i, m := range b.msgs {
-			if matches(m, src, tag) {
-				b.msgs = append(b.msgs[:i], b.msgs[i+1:]...)
-				return m
+			if matches(m, src, tagLo, tagHi) {
+				return takeMsg(&b.msgs, i)
 			}
+		}
+		if b.err != nil {
+			panic(b.err)
 		}
 		b.cond.Wait()
 	}
@@ -56,11 +86,11 @@ func (w *realWorld) send(c *Comm, dst, tag int, bytes int64, data any) {
 
 func (w *realWorld) isend(c *Comm, dst, tag int, bytes int64, data any) *Request {
 	w.send(c, dst, tag, bytes, data)
-	return &Request{done: true}
+	return completedRequest
 }
 
-func (w *realWorld) recv(c *Comm, src, tag int) Message {
-	return w.boxes[c.rank].get(src, tag)
+func (w *realWorld) recv(c *Comm, src, tagLo, tagHi int) Message {
+	return w.boxes[c.rank].get(src, tagLo, tagHi)
 }
 
 func (w *realWorld) now(c *Comm) float64 { return time.Since(w.start).Seconds() }

@@ -125,13 +125,12 @@ func (w *simWorld) isend(c *Comm, dst, tag int, bytes int64, data any) *Request 
 	return req
 }
 
-func (w *simWorld) recv(c *Comm, src, tag int) Message {
+func (w *simWorld) recv(c *Comm, src, tagLo, tagHi int) Message {
 	r := w.ranks[c.rank]
 	for {
 		for i, m := range r.msgs {
-			if matches(m, src, tag) {
-				r.msgs = append(r.msgs[:i], r.msgs[i+1:]...)
-				return m
+			if matches(m, src, tagLo, tagHi) {
+				return takeMsg(&r.msgs, i)
 			}
 		}
 		r.waiter = true

@@ -55,16 +55,20 @@ func (w *subWorld) isend(c *Comm, dst, tag int, bytes int64, data any) *Request 
 	return w.parent.w.isend(w.parent, w.members[dst], tag+w.offset, bytes, data)
 }
 
-func (w *subWorld) recv(c *Comm, src, tag int) Message {
+func (w *subWorld) recv(c *Comm, src, tagLo, tagHi int) Message {
 	wsrc := AnySource
 	if src != AnySource {
 		wsrc = w.members[src]
 	}
-	wtag := AnyTag
-	if tag != AnyTag {
-		wtag = tag + w.offset
+	// A wildcard arrives as the full tag space; clamp it to one stride so
+	// the parent-level window is exactly this sub's namespace
+	// [offset, offset+subTagStride). Passing the wildcard through unclamped
+	// would let a sub Recv steal world-comm or sibling-sub messages from
+	// the shared mailbox.
+	if tagHi >= subTagStride {
+		tagHi = subTagStride - 1
 	}
-	m := w.parent.w.recv(w.parent, wsrc, wtag)
+	m := w.parent.w.recv(w.parent, wsrc, tagLo+w.offset, tagHi+w.offset)
 	m.Tag -= w.offset
 	for i, wm := range w.members {
 		if wm == m.Src {
