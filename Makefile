@@ -62,7 +62,9 @@ check: build vet fmtcheck doccheck test race
 # allocation guarantees loudly (including PR 5's collective-read and
 # rendered-frame gates, TestReadAllSteadyStateAllocFree and
 # TestRenderFrameAllocFree); the fixed-seed chaos smoke replays PR 6's
-# fault-injection suite under the race detector (docs/faults.md); and the
+# fault-injection suite under the race detector (docs/faults.md),
+# including the chaos-over-net drop/kill pins, and the TestNet leg
+# replays the transport's heal/peer-loss suite the same way; and the
 # -benchtime 1x smoke run compiles and executes every hot-kernel benchmark
 # once so they cannot bit-rot. See docs/ci.md for the full gate catalog.
 ci: check
@@ -71,6 +73,7 @@ ci: check
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestDecodeChainSpeedupGate' -v ./internal/core/
 	$(GO) test -run 'AllocFree|AllocBudget|ArenaReuse' -v ./internal/compositor/ ./internal/render/ ./internal/lic/ ./internal/quadtree/ ./internal/core/ ./internal/mpiio/ ./internal/workers/ ./internal/mpi/
 	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/core/
+	$(GO) test -race -run 'TestNet' -count=1 -v ./internal/mpi/ ./internal/faultinject/
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/compositor/ ./internal/lic/ ./internal/render/ ./internal/mpiio/ ./internal/core/ ./internal/workers/ ./internal/mpi/
 
 # Short exploratory fuzz sessions; the committed seeds alone run in `test`.
@@ -83,3 +86,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzCompositeRLEGarbage$$' -fuzztime=30s ./internal/compositor/
 	$(GO) test -run='^$$' -fuzz='^FuzzFaultSchedule$$' -fuzztime=30s ./internal/faultinject/
 	$(GO) test -run='^$$' -fuzz='^FuzzNetFrameDecode$$' -fuzztime=30s ./internal/mpi/
+	$(GO) test -run='^$$' -fuzz='^FuzzNetChaos$$' -fuzztime=30s ./internal/faultinject/

@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +35,17 @@ import (
 	"repro/internal/pfs"
 	"repro/internal/quake"
 	"repro/internal/render"
+)
+
+// Job exit codes, surfaced per rank and folded to their maximum by the
+// -spawn parent: a clean run, a hard failure, a run completed with
+// degraded frames (lost rank tolerated), or a run aborted on a lost
+// peer with tolerance off.
+const (
+	exitClean    = 0
+	exitFatal    = 1
+	exitDegraded = 3
+	exitPeerLost = 4
 )
 
 func main() {
@@ -58,6 +70,9 @@ func main() {
 	compress := flag.Bool("compress", false, "RLE-compress compositing traffic")
 	workers := flag.Int("workers", 0, "per-rank render worker goroutines (0 = auto)")
 	timeout := flag.Duration("timeout", 30*time.Second, "bootstrap dial/handshake timeout")
+	heartbeat := flag.Duration("heartbeat", mpi.DefaultNetHeartbeat, "peer heartbeat interval (negative disables liveness probing)")
+	reconnect := flag.Int("reconnect", mpi.DefaultNetReconnectAttempts, "reconnect attempts before a silent peer is declared lost (negative disables healing)")
+	tolerate := flag.Bool("tolerate", false, "degrade on lost ranks and failed reads instead of aborting (exit 3 when frames degraded)")
 	flag.Parse()
 
 	layout := core.Layout{Groups: *groups, IPsPerGroup: *ips, Renderers: *renderers, Outputs: *outputs}
@@ -92,6 +107,9 @@ func main() {
 	default:
 		log.Fatalf("unknown compositor %q", *comp)
 	}
+	if *tolerate {
+		opts.Faults.Tolerate = true
+	}
 
 	w, err := core.NewRealWorkload(layout, opts, store)
 	if err != nil {
@@ -106,6 +124,10 @@ func main() {
 		Rank: *rank, Size: size,
 		Coordinator: *coord, Listen: *listen,
 		DialTimeout: *timeout,
+		Tuning: mpi.NetTuning{
+			Heartbeat:         *heartbeat,
+			ReconnectAttempts: *reconnect,
+		},
 	})
 	if err != nil {
 		log.Fatalf("rank %d: join: %v", *rank, err)
@@ -113,14 +135,54 @@ func main() {
 	c := nw.Comm()
 	log.Printf("rank %d/%d up (%s)", *rank, size, layout.RoleOf(*rank))
 	start := time.Now()
-	if err := p.Run(c); err != nil {
-		log.Fatalf("rank %d: %v", *rank, err)
+	runErr := func() (err error) {
+		// Peer loss without -tolerate surfaces as a panic from a blocked
+		// receive; recover it into the exit-code classification instead
+		// of crashing the process with a stack trace.
+		defer func() {
+			if r := recover(); r != nil {
+				if e, ok := r.(error); ok {
+					err = e
+				} else {
+					err = fmt.Errorf("rank %d: %v", *rank, r)
+				}
+			}
+		}()
+		if err := p.Run(c); err != nil {
+			return err
+		}
+		// Drain the job before teardown: Close drops in-flight messages,
+		// so no rank may leave until every rank is done sending. A lost
+		// rank never reaches the barrier, so a degraded job lingers
+		// briefly instead and tears down without it.
+		if *tolerate && nw.Stats().PeersLost > 0 {
+			time.Sleep(150 * time.Millisecond)
+			return nil
+		}
+		c.Barrier()
+		return nil
+	}()
+	if err := nw.Close(); err != nil {
+		log.Printf("rank %d: close: %v", *rank, err)
 	}
-	// Drain the job before teardown: Close drops in-flight messages, so
-	// no rank may leave until every rank is done sending.
-	c.Barrier()
-	nw.Close()
 	w.Close()
+
+	code := exitClean
+	switch {
+	case runErr != nil && errors.Is(runErr, mpi.ErrPeerLost):
+		log.Printf("rank %d: aborted on lost peer: %v", *rank, runErr)
+		code = exitPeerLost
+	case runErr != nil:
+		log.Printf("rank %d: %v", *rank, runErr)
+		code = exitFatal
+	case p.Res.DegradedFrames > 0:
+		log.Printf("rank %d: completed degraded: %d degraded frame(s), %d peer(s) lost",
+			*rank, p.Res.DegradedFrames, nw.Stats().PeersLost)
+		code = exitDegraded
+	}
+	if code == exitFatal || code == exitPeerLost {
+		os.Exit(code)
+	}
 
 	wrote := 0
 	for t := 0; t < w.Steps(); t++ {
@@ -148,10 +210,15 @@ func main() {
 			*rank, wrote, *out, time.Since(start).Seconds(),
 			c.MsgsSent, c.BytesSent, c.MsgsRecv, c.BytesRecv)
 	}
+	if code != exitClean {
+		os.Exit(code) // degraded completion: frames written, exit 3
+	}
 }
 
 // spawnJob forks one child per rank with this process's own flags plus
-// -rank, and waits for the whole job. Children share stdout/stderr.
+// -rank, and waits for the whole job. Children share stdout/stderr; the
+// job's exit code is the maximum child code, so one degraded (3) or
+// peer-lost (4) rank marks the whole run.
 func spawnJob(size int) int {
 	self, err := os.Executable()
 	if err != nil {
@@ -176,8 +243,15 @@ func spawnJob(size int) int {
 	code := 0
 	for r, cmd := range procs {
 		if err := cmd.Wait(); err != nil {
-			log.Printf("rank %d: %v", r, err)
-			code = 1
+			rc := exitFatal
+			var xe *exec.ExitError
+			if errors.As(err, &xe) && xe.ExitCode() > 0 {
+				rc = xe.ExitCode()
+			}
+			log.Printf("rank %d: exit %d (%v)", r, rc, err)
+			if rc > code {
+				code = rc
+			}
 		}
 	}
 	return code

@@ -1,0 +1,72 @@
+package main
+
+// Launcher smoke test: build the binary and run a tiny -spawn job on
+// loopback with heartbeats and healing enabled. The job must exit 0 and
+// the output rank must write every frame.
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// freePort reserves an ephemeral loopback port for the coordinator: the
+// children must all dial a concrete address, so -coord cannot use :0.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func TestSpawnSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and forks a whole multi-process job")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "quakerank")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("build: %v\n%s", err, out)
+	}
+
+	frames := filepath.Join(dir, "frames")
+	cmd := exec.Command(bin,
+		"-spawn",
+		"-coord", freePort(t),
+		"-groups", "1", "-ips", "1", "-renderers", "2", "-outputs", "1",
+		"-steps", "2", "-width", "48", "-height", "48",
+		"-heartbeat", "50ms", "-reconnect", "3", "-tolerate",
+		"-out", frames,
+		"-timeout", "30s",
+	)
+	done := make(chan []byte, 1)
+	var runErr error
+	go func() {
+		out, err := cmd.CombinedOutput()
+		runErr = err
+		done <- out
+	}()
+	var out []byte
+	select {
+	case out = <-done:
+	case <-time.After(4 * time.Minute):
+		cmd.Process.Kill()
+		t.Fatalf("spawn job timed out\n%s", <-done)
+	}
+	if runErr != nil {
+		t.Fatalf("spawn job failed: %v\n%s", runErr, out)
+	}
+	for step := 0; step < 2; step++ {
+		name := filepath.Join(frames, "frame_000"+string(rune('0'+step))+".png")
+		if fi, err := os.Stat(name); err != nil || fi.Size() == 0 {
+			t.Errorf("missing or empty frame %s (err=%v)\njob output:\n%s", name, err, out)
+		}
+	}
+}

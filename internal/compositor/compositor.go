@@ -2,6 +2,7 @@ package compositor
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 
@@ -253,6 +254,12 @@ func DirectSend(c *mpi.Comm, group []int, me int, frags []*render.Fragment,
 // strip belongs to scr until ReleaseStrip is called on it (by whoever
 // consumes it). A nil scr uses a private scratch, which behaves exactly
 // like the unpooled path.
+//
+// If a sending rank has been declared lost by the transport, its pixels
+// are composited as absent: the returned strip is still valid (partial)
+// output and the error matches mpi.ErrPeerLost, so loss-tolerant frame
+// loops can keep the strip and mark the frame degraded. The same
+// contract applies to SLICWith.
 func DirectSendWith(c *mpi.Comm, group []int, me int, frags []*render.Fragment,
 	w, h, tagBase int, compress bool, scr *CompositeScratch) (*img.Image, Strip, Stats, error) {
 
@@ -286,11 +293,22 @@ func DirectSendWith(c *mpi.Comm, group []int, me int, frags []*render.Fragment,
 		st.MsgsSent++
 		st.BytesSent += bytes
 	}
+	lost := 0
 	for j := 0; j < n; j++ {
 		if j == me {
 			continue
 		}
-		msg := c.Recv(group[j], tagBase)
+		msg, rerr := c.RecvErr(group[j], tagBase)
+		if rerr != nil {
+			if errors.Is(rerr, mpi.ErrPeerLost) {
+				// A dead sender's pixels are simply absent: composite
+				// what arrived and report the gap, so the frame loop can
+				// degrade instead of dying (docs/faults.md).
+				lost++
+				continue
+			}
+			panic(rerr)
+		}
 		if p, ok := msg.Data.(*wirePayload); ok && p != nil {
 			recvd = append(recvd, p)
 			for i := range p.subs {
@@ -304,6 +322,11 @@ func DirectSendWith(c *mpi.Comm, group []int, me int, frags []*render.Fragment,
 		p.Release()
 	}
 	scr.mine, scr.recvd = mine[:0], recvd[:0]
+	if err == nil && lost > 0 {
+		// The strip itself is valid (partial) output; callers that
+		// tolerate rank loss match ErrPeerLost and keep it.
+		err = fmt.Errorf("compositor: composited without %d lost peer(s): %w", lost, mpi.ErrPeerLost)
+	}
 	return out, strips[me], st, err
 }
 
@@ -452,8 +475,16 @@ func SLICWith(c *mpi.Comm, group []int, me int, sched *Schedule, frags []*render
 		st.MsgsSent++
 		st.BytesSent += bytes
 	}
+	lost := 0
 	for _, i := range sched.Senders[me] {
-		msg := c.Recv(group[i], tagBase)
+		msg, rerr := c.RecvErr(group[i], tagBase)
+		if rerr != nil {
+			if errors.Is(rerr, mpi.ErrPeerLost) {
+				lost++ // dead sender: composite without its pixels
+				continue
+			}
+			panic(rerr)
+		}
 		if p, ok := msg.Data.(*wirePayload); ok && p != nil {
 			recvd = append(recvd, p)
 			for k := range p.subs {
@@ -467,6 +498,9 @@ func SLICWith(c *mpi.Comm, group []int, me int, sched *Schedule, frags []*render
 		p.Release()
 	}
 	scr.mine, scr.recvd = mine[:0], recvd[:0]
+	if err == nil && lost > 0 {
+		err = fmt.Errorf("compositor: composited without %d lost peer(s): %w", lost, mpi.ErrPeerLost)
+	}
 	return out, sched.Strips[me], st, err
 }
 

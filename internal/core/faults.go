@@ -24,6 +24,11 @@ import (
 // assertion.
 func (w *RealWorkload) attachResult(res *Result) { w.res = res }
 
+// tolerateRankLoss reports whether the fault policy degrades on a lost
+// peer rank instead of aborting; NewPipeline reads it via
+// optional-interface assertion to arm the peer-loss recv fallback.
+func (w *RealWorkload) tolerateRankLoss() bool { return w.opts.Faults.Tolerate }
+
 // account folds one recovery episode into the run's Result (if attached).
 func (w *RealWorkload) account(faults, retries int, stale bool) {
 	if w.res != nil {

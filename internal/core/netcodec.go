@@ -120,6 +120,11 @@ func encodeStripPayload(buf []byte, v any) ([]byte, error) {
 	sp := v.(*stripPayload)
 	buf = mpi.AppendU32(buf, uint32(int32(sp.Strip.Y0)))
 	buf = mpi.AppendU32(buf, uint32(int32(sp.Strip.H)))
+	var deg byte
+	if sp.degraded {
+		deg = 1
+	}
+	buf = append(buf, deg)
 	buf = appendImgVal(buf, sp.Img)
 	sp.release() // returns the canvas to the sender's CompositeScratch
 	return buf, nil
@@ -131,6 +136,7 @@ func decodeStripPayload(wire []byte) (any, error) {
 	sp.owner = &netStrips
 	sp.comp = nil // the canvas is sp.store, recycled with the struct
 	sp.Strip = compositor.Strip{Y0: int(r.I32()), H: int(r.I32())}
+	sp.degraded = r.U8() != 0
 	if err := readImgVal(&r, &sp.store); err != nil {
 		sp.Img = nil
 		sp.release()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -206,6 +207,12 @@ type Pipeline struct {
 	// runtime.NumCPU(), 1 builds serially. Message order and content are
 	// unchanged either way.
 	Workers int
+
+	// tolerate is set when the workload opts into rank-loss degradation
+	// (Options.Faults.Tolerate): a message from a peer the transport has
+	// declared lost becomes an absent (zero) message feeding the
+	// degraded-frame path, instead of killing this rank.
+	tolerate bool
 }
 
 // NewPipeline validates the layout and prepares a result sink.
@@ -228,7 +235,30 @@ func NewPipeline(l Layout, w Workload) (*Pipeline, error) {
 	if fw, ok := w.(interface{ attachResult(*Result) }); ok {
 		fw.attachResult(res)
 	}
-	return &Pipeline{Layout: l, W: w, Res: res, PrefetchDepth: 1}, nil
+	p := &Pipeline{Layout: l, W: w, Res: res, PrefetchDepth: 1}
+	// Rank-loss tolerance is likewise an optional workload property: a
+	// workload running with Options.Faults.Tolerate reports it here and
+	// the pipeline's receives degrade on ErrPeerLost instead of dying.
+	if tw, ok := w.(interface{ tolerateRankLoss() bool }); ok {
+		p.tolerate = tw.tolerateRankLoss()
+	}
+	return p, nil
+}
+
+// recvOr receives the (src, tag) message, degrading on peer loss when
+// the workload tolerates it: a message from a lost rank comes back as a
+// zero Message (nil Data) carrying only the envelope, which the
+// workload's stage hooks treat as an absent piece. Without tolerance,
+// loss propagates as the receive error.
+func (p *Pipeline) recvOr(c *mpi.Comm, src, tag int) (mpi.Message, error) {
+	m, err := c.RecvErr(src, tag)
+	if err != nil {
+		if p.tolerate && errors.Is(err, mpi.ErrPeerLost) {
+			return mpi.Message{Src: src, Tag: tag}, nil
+		}
+		return mpi.Message{}, err
+	}
+	return m, nil
 }
 
 // Run executes this rank's role; call from every rank of the world.
@@ -295,9 +325,13 @@ func (p *Pipeline) runInput(c *mpi.Comm) error {
 		t2 := c.Now()
 		// Credits: every renderer grants one credit per step to each IP of
 		// the step's group; sending before the grant would overrun the
-		// renderer's prefetch buffer.
+		// renderer's prefetch buffer. A lost renderer grants no more
+		// credits — its absence stands in for the grant, and the data
+		// send below is dropped by the transport.
 		for r := 0; r < l.Renderers; r++ {
-			c.Recv(l.RenderRank(r), tagCredit(t))
+			if _, err := p.recvOr(c, l.RenderRank(r), tagCredit(t)); err != nil {
+				return fmt.Errorf("core: input %d credit step %d: %w", i, t, err)
+			}
 		}
 		t3 := c.Now()
 		// Build every renderer's payload (concurrently when allowed), then
@@ -360,8 +394,14 @@ func (p *Pipeline) runRenderer(c *mpi.Comm) error {
 		if depth == 0 {
 			grant(t) // no buffering: admit a step only when ready for it
 		}
-		for k := 0; k < l.IPsPerGroup; k++ {
-			pieces[k] = c.Recv(mpi.AnySource, tagData(t))
+		// One piece per IP of the step's group, received by source rank
+		// so a lost input yields exactly its own absent piece (the
+		// workload renders the rest and degrades the frame).
+		for k, ip := range groupRanks[t%l.Groups] {
+			var err error
+			if pieces[k], err = p.recvOr(c, ip, tagData(t)); err != nil {
+				return fmt.Errorf("core: renderer %d data step %d: %w", r, t, err)
+			}
 		}
 		// Buffered prefetch: step t+depth may stream in while we render t.
 		if depth > 0 {
@@ -392,13 +432,22 @@ func (p *Pipeline) runOutput(c *mpi.Comm) error {
 	steps := p.W.Steps()
 	strips := make([]mpi.Message, l.Renderers)
 	for t := o; t < steps; t += l.Outputs {
+		// Strips are received by renderer rank so a lost renderer leaves
+		// exactly its own slot absent; Assemble fills the gap and marks
+		// the frame degraded.
 		for k := 0; k < l.Renderers; k++ {
-			msg := c.Recv(mpi.AnySource, tagStrip(t))
-			strips[msg.Src-l.NumInput()] = msg
+			msg, err := p.recvOr(c, l.RenderRank(k), tagStrip(t))
+			if err != nil {
+				return fmt.Errorf("core: output %d strip step %d: %w", o, t, err)
+			}
+			strips[k] = msg
 		}
 		var lic *mpi.Message
 		if p.W.WantLIC() {
-			m := c.Recv(mpi.AnySource, tagLIC(t))
+			m, err := p.recvOr(c, l.GroupRanks(t % l.Groups)[0], tagLIC(t))
+			if err != nil {
+				return fmt.Errorf("core: output %d lic step %d: %w", o, t, err)
+			}
 			lic = &m
 		}
 		if err := p.W.Assemble(c, t, strips, lic); err != nil {

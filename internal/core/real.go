@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"slices"
@@ -944,15 +945,25 @@ func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any,
 			}
 		}
 	}
+	degraded := false
 	for i, bi := range mine {
-		if !rs.got[i] {
-			return nil, fmt.Errorf("core: renderer %d missing block %d at step %d", r, bi, t)
-		}
 		// Shallow-copy the template: Cells and the point-location index are
 		// shared read-only, only the per-frame Vals are (re)written.
 		bd := rs.bds[i]
 		*bd = *w.blockBD[bi]
 		bd.Vals = rs.vals[i]
+		if !rs.got[i] {
+			if !w.opts.Faults.Tolerate {
+				return nil, fmt.Errorf("core: renderer %d missing block %d at step %d", r, bi, t)
+			}
+			// A lost input rank never delivered this block's piece: render
+			// the block from deterministic zero values (fully transparent)
+			// and flag the frame, instead of aborting the run.
+			clear(bd.Vals)
+			rs.corn[i] = nil
+			degraded = true
+			continue
+		}
 		switch w.opts.ReadStrategy {
 		case ReadCollective:
 			bv := rs.corn[i]
@@ -970,6 +981,9 @@ func (w *RealWorkload) Render(c *mpi.Comm, t, r int, pieces []mpi.Message) (any,
 			}
 		}
 		rs.corn[i] = nil
+	}
+	if degraded {
+		w.markDegraded(t)
 	}
 	// Values are merged; hand the wire payloads back to their senders.
 	for _, p := range pieces {
@@ -1011,11 +1025,21 @@ func (w *RealWorkload) Composite(c *mpi.Comm, t, r int, group []int, rnd any) (i
 		im, st, _, err = compositor.SLICWith(c, group, r, w.sched, frags, w.opts.Width, w.opts.Height, tagComposite(t), w.opts.Compress, rs.comp)
 	}
 	if err != nil {
-		return 0, nil, err
+		// A partial composite (some group peers lost mid-exchange) is still
+		// a valid strip under the fault policy: the lost renderers' pixels
+		// stay transparent and the frame is flagged instead of aborting.
+		if !w.opts.Faults.Tolerate || !errors.Is(err, mpi.ErrPeerLost) {
+			return 0, nil, err
+		}
+		w.markDegraded(t)
 	}
 	render.ReleaseFragments(frags)
 	sp := rs.strips.Get()
 	sp.Img, sp.Strip, sp.comp = im, st, rs.comp
+	// The strip carries the renderer-side degraded flag to the output rank
+	// (netcodec ships it), so cross-process runs fold renderer-local
+	// incidents into the output's Result too.
+	sp.degraded = w.FrameDegraded(t)
 	return compositor.RawBytes(im), sp, nil
 }
 
@@ -1029,9 +1053,24 @@ func (w *RealWorkload) Assemble(c *mpi.Comm, t int, strips []mpi.Message, licMsg
 	os := w.outScr[c.Rank()-w.layout.NumInput()-w.layout.Renderers]
 	frame := w.ring.Acquire(w.opts.Width, w.opts.Height)
 	for _, s := range strips {
+		if s.Data == nil {
+			// A lost renderer's strip never arrived (Pipeline substituted an
+			// empty message): the ring frame's pixels are already zeroed, so
+			// the gap stays transparent and the frame is flagged.
+			if !w.opts.Faults.Tolerate {
+				return fmt.Errorf("core: output missing strip from rank %d at step %d", s.Src, t)
+			}
+			w.markDegraded(t)
+			continue
+		}
 		sp, ok := s.Data.(*stripPayload)
 		if !ok {
 			return fmt.Errorf("core: output got unexpected strip payload %T", s.Data)
+		}
+		if sp.degraded {
+			// The renderer flagged its own incident (partial composite or
+			// missing input pieces); fold it into this output's Result.
+			w.markDegraded(t)
 		}
 		if sp.Strip.H > 0 {
 			copy(frame.Pix[4*sp.Strip.Y0*w.opts.Width:4*(sp.Strip.Y0+sp.Strip.H)*w.opts.Width], sp.Img.Pix)
@@ -1042,6 +1081,10 @@ func (w *RealWorkload) Assemble(c *mpi.Comm, t int, strips []mpi.Message, licMsg
 		lp := licMsg.Data.(*licPayload)
 		frame.Under(stretchInto(&os.stretch, &lp.Img, w.opts.Width, w.opts.Height))
 		lp.release()
+	} else if licMsg != nil && w.opts.Faults.Tolerate {
+		// LIC underlay dropped (degraded LIC step or lost LIC rank): render
+		// the frame without it and flag it.
+		w.markDegraded(t)
 	}
 	w.framesMu.Lock()
 	if old := w.frames[t]; old != nil && old != frame {

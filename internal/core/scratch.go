@@ -64,6 +64,10 @@ type stripPayload struct {
 	comp  *compositor.CompositeScratch // canvas owner; nil for unpooled strips
 	owner *pool.Pool[stripPayload]
 	store img.Image // net-decoded payloads: pooled backing image Img points at
+	// degraded flags a strip built without some peer's contribution
+	// (renderer-local incident); it travels on the wire so the output rank
+	// can fold cross-process incidents into its Result.
+	degraded bool
 }
 
 func (sp *stripPayload) release() {
@@ -73,7 +77,7 @@ func (sp *stripPayload) release() {
 	if sp.comp != nil {
 		sp.comp.ReleaseStrip(sp.Img)
 	}
-	sp.Img, sp.comp = nil, nil
+	sp.Img, sp.comp, sp.degraded = nil, nil, false
 	if sp.owner != nil {
 		sp.owner.Put(sp)
 	}

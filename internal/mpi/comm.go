@@ -26,7 +26,10 @@
 // under all transports.
 package mpi
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // Wildcards for Recv matching.
 const (
@@ -77,6 +80,43 @@ func (r *Request) Done() bool { return r.done }
 // without allocating per message on the hot send path.
 var completedRequest = &Request{done: true}
 
+// ErrPeerLost is the sentinel every peer-loss failure wraps: a network
+// peer whose connection died and whose reconnect budget is exhausted is
+// declared lost, and receives addressed to it fail with an error for
+// which errors.Is(err, ErrPeerLost) is true (concretely a
+// *PeerLostError carrying the rank and root cause). Sends to a lost
+// rank are silently dropped — the payload has nowhere to go and the
+// receiving layers account the loss — so send-side loops stay healthy
+// while receivers degrade explicitly.
+var ErrPeerLost = errors.New("mpi: peer lost")
+
+// ErrRankKilled is the root cause recorded when fault injection kills
+// this rank itself (NetFaultKill): every local communication surface
+// fails with an error wrapping it.
+var ErrRankKilled = errors.New("mpi: rank killed by fault injection")
+
+// PeerLostError reports a permanently lost peer rank. It matches
+// ErrPeerLost via errors.Is and exposes the root cause via Unwrap.
+type PeerLostError struct {
+	// Rank is the lost peer's world rank.
+	Rank int
+	// Cause is the final transport error that exhausted the reconnect
+	// budget (last dial failure, heartbeat timeout, ...).
+	Cause error
+}
+
+// Error formats the lost rank and its root cause.
+func (e *PeerLostError) Error() string {
+	return fmt.Sprintf("mpi: peer rank %d lost: %v", e.Rank, e.Cause)
+}
+
+// Unwrap returns the root transport cause.
+func (e *PeerLostError) Unwrap() error { return e.Cause }
+
+// Is reports ErrPeerLost as a match, so callers can classify with
+// errors.Is(err, ErrPeerLost) without knowing the concrete type.
+func (e *PeerLostError) Is(target error) bool { return target == ErrPeerLost }
+
 // world is the transport behind a communicator. recv matches tags in the
 // inclusive range [tagLo, tagHi]; Comm.Recv widens AnyTag into the full
 // range, and sub-communicators narrow wildcards to their own tag window so
@@ -89,6 +129,18 @@ type world interface {
 	compute(c *Comm, seconds float64)
 	ioRead(c *Comm, bytes int64, seeks int)
 	simulated() bool
+}
+
+// lossyWorld is the optional transport surface behind RecvErr, TryRecv
+// and PeerLost: transports that can lose peers (the network transport)
+// or support non-blocking receives (real and network) implement it. The
+// simulated transport does not — RecvErr falls back to the blocking
+// panic-on-failure recv there, which is equivalent because simulated
+// peers never die.
+type lossyWorld interface {
+	recvErr(c *Comm, src, tagLo, tagHi int) (Message, error)
+	tryRecv(c *Comm, src, tagLo, tagHi int) (Message, bool, error)
+	peerLost(r int) bool
 }
 
 // Comm is one rank's view of the communicator. All methods must be called
@@ -175,6 +227,72 @@ func (c *Comm) Recv(src, tag int) Message {
 	c.BytesRecv += m.Bytes
 	c.MsgsRecv++
 	return m
+}
+
+// RecvErr is Recv with transport failure reported as an error instead
+// of a panic: a receive addressed to a lost peer rank returns an error
+// matching ErrPeerLost (once every already-delivered message from that
+// rank has been consumed), and a fatally poisoned transport returns its
+// error. On transports that cannot lose peers (RunReal, RunSim) RecvErr
+// succeeds exactly where Recv would.
+func (c *Comm) RecvErr(src, tag int) (Message, error) {
+	if src != AnySource {
+		c.checkPeer(src, "RecvErr")
+	}
+	lo, hi := tag, tag
+	if tag == AnyTag {
+		lo, hi = 0, maxTag
+	}
+	lw, ok := c.w.(lossyWorld)
+	if !ok {
+		m := c.w.recv(c, src, lo, hi)
+		c.BytesRecv += m.Bytes
+		c.MsgsRecv++
+		return m, nil
+	}
+	m, err := lw.recvErr(c, src, lo, hi)
+	if err != nil {
+		return Message{}, err
+	}
+	c.BytesRecv += m.Bytes
+	c.MsgsRecv++
+	return m, nil
+}
+
+// TryRecv is the non-blocking RecvErr: ok reports whether a matching
+// message had already arrived. A lost source rank (or poisoned
+// transport) surfaces its error with ok false. TryRecv panics on
+// transports without a non-blocking surface (RunSim, where polling has
+// no meaning in virtual time).
+func (c *Comm) TryRecv(src, tag int) (Message, bool, error) {
+	if src != AnySource {
+		c.checkPeer(src, "TryRecv")
+	}
+	lo, hi := tag, tag
+	if tag == AnyTag {
+		lo, hi = 0, maxTag
+	}
+	lw, ok := c.w.(lossyWorld)
+	if !ok {
+		panic("mpi: TryRecv is not supported on this transport")
+	}
+	m, got, err := lw.tryRecv(c, src, lo, hi)
+	if err != nil || !got {
+		return Message{}, false, err
+	}
+	c.BytesRecv += m.Bytes
+	c.MsgsRecv++
+	return m, true, nil
+}
+
+// PeerLost reports whether rank r has been declared permanently lost by
+// the transport. Always false on transports that cannot lose peers.
+func (c *Comm) PeerLost(r int) bool {
+	c.checkPeer(r, "PeerLost")
+	if lw, ok := c.w.(lossyWorld); ok {
+		return lw.peerLost(r)
+	}
+	return false
 }
 
 // --- Collectives -----------------------------------------------------------

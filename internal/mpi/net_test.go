@@ -13,24 +13,22 @@ import (
 	"testing"
 )
 
-// buildTestFrame encodes one frame exactly the way netWorld.send does.
+// buildTestFrame encodes one data frame (seq 1, ack 0) exactly the way
+// netWorld.send does.
 func buildTestFrame(t testing.TB, tag int, nbytes int64, data any) []byte {
 	t.Helper()
-	buf := []byte{0, 0, 0, 0}
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(tag))
-	buf = binary.LittleEndian.AppendUint64(buf, uint64(nbytes))
-	buf, err := appendValue(buf, data)
+	buf, err := appendFrame(nil, 1, 0, uint64(tag), uint64(nbytes), data)
 	if err != nil {
-		t.Fatalf("appendValue: %v", err)
+		t.Fatalf("appendFrame: %v", err)
 	}
-	binary.LittleEndian.PutUint32(buf, uint32(len(buf)-4))
 	return buf
 }
 
 // decodeTestFrame runs one frame (or garbage) through the reader path.
 func decodeTestFrame(b []byte) (Message, error) {
 	var scratch []byte
-	return readFrame(bufio.NewReader(bytes.NewReader(b)), &scratch)
+	m, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(b)), &scratch)
+	return m, err
 }
 
 func TestNetFrameRoundTrip(t *testing.T) {
@@ -82,13 +80,14 @@ func TestNetHostileFrames(t *testing.T) {
 	f := append([]byte{}, valid...)
 	binary.LittleEndian.PutUint16(f[4+netFrameMeta:], 0x7fff)
 	cases["unknown codec"] = f
-	// Envelope tag above maxTag.
+	// Envelope tag above maxTag (tag is the third u64 of the body, after
+	// seq and ack).
 	f = append([]byte{}, valid...)
-	binary.LittleEndian.PutUint64(f[4:], 1<<63)
+	binary.LittleEndian.PutUint64(f[20:], 1<<63)
 	cases["tag overflow"] = f
 	// Envelope byte count above the sanity bound.
 	f = append([]byte{}, valid...)
-	binary.LittleEndian.PutUint64(f[12:], 1<<63)
+	binary.LittleEndian.PutUint64(f[28:], 1<<63)
 	cases["bytes overflow"] = f
 	// []any whose element is truncated mid-header.
 	f = buildTestFrame(t, 3, 8, []any{"ok"})
@@ -136,7 +135,7 @@ func TestNetTruncatedStreamBoundsScratch(t *testing.T) {
 	hdr := binary.LittleEndian.AppendUint32(nil, maxNetFrame)
 	body := make([]byte, 100) // far less than the claimed 1 GiB
 	var scratch []byte
-	_, err := readFrame(bufio.NewReader(bytes.NewReader(append(hdr, body...))), &scratch)
+	_, _, _, err := readFrame(bufio.NewReader(bytes.NewReader(append(hdr, body...))), &scratch)
 	if err == nil || !strings.Contains(err.Error(), "truncated") {
 		t.Fatalf("err = %v, want truncation error", err)
 	}
@@ -165,7 +164,7 @@ func FuzzNetFrameDecode(f *testing.F) {
 		br := bufio.NewReader(bytes.NewReader(b))
 		var scratch []byte
 		for {
-			if _, err := readFrame(br, &scratch); err != nil {
+			if _, _, _, err := readFrame(br, &scratch); err != nil {
 				break
 			}
 		}

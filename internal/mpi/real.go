@@ -18,6 +18,13 @@ type mailbox struct {
 	cond *sync.Cond
 	msgs []Message
 	err  error // fatal transport error: get panics with it once the queue drains
+
+	// lost maps a source rank to the loss that severed it permanently
+	// (network transport only). Receives addressed to a lost rank fail
+	// with the mapped error once no matching message remains; wildcard
+	// receives are unaffected — their contract is "whatever arrives
+	// next", which a lost peer can no longer influence.
+	lost map[int]error
 }
 
 func newMailbox() *mailbox {
@@ -64,20 +71,89 @@ func (b *mailbox) fail(err error) {
 	b.cond.Broadcast()
 }
 
+// markLost records that messages from src can never arrive again. Any
+// get/getErr blocked on src (and all future ones) unblocks with err once
+// no matching message remains in the queue — already-delivered messages
+// are still consumable, preserving per-pair FIFO up to the cut.
+func (b *mailbox) markLost(src int, err error) {
+	b.mu.Lock()
+	if b.lost == nil {
+		b.lost = make(map[int]error)
+	}
+	if b.lost[src] == nil {
+		b.lost[src] = err
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// drain discards every unconsumed message and returns how many there
+// were, releasing their payloads to the garbage collector. Used by
+// NetWorld.Close to surface in-flight message loss instead of dropping
+// it silently.
+func (b *mailbox) drain() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	n := len(b.msgs)
+	for i := range b.msgs {
+		b.msgs[i] = Message{}
+	}
+	b.msgs = b.msgs[:0]
+	return n
+}
+
 func (b *mailbox) get(src, tagLo, tagHi int) Message {
+	m, err := b.getErr(src, tagLo, tagHi)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// getErr is get with loss reported as an error instead of a panic: a
+// poisoned mailbox or a receive addressed to a lost rank returns the
+// recorded error once no matching message remains.
+func (b *mailbox) getErr(src, tagLo, tagHi int) (Message, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	for {
 		for i, m := range b.msgs {
 			if matches(m, src, tagLo, tagHi) {
-				return takeMsg(&b.msgs, i)
+				return takeMsg(&b.msgs, i), nil
 			}
 		}
 		if b.err != nil {
-			panic(b.err)
+			return Message{}, b.err
+		}
+		if src != AnySource && b.lost != nil {
+			if err := b.lost[src]; err != nil {
+				return Message{}, err
+			}
 		}
 		b.cond.Wait()
 	}
+}
+
+// tryGet is the non-blocking getErr: ok reports whether a matching
+// message was already queued. A poisoned mailbox or lost source rank
+// surfaces its error (with ok false) instead of blocking forever.
+func (b *mailbox) tryGet(src, tagLo, tagHi int) (Message, bool, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, m := range b.msgs {
+		if matches(m, src, tagLo, tagHi) {
+			return takeMsg(&b.msgs, i), true, nil
+		}
+	}
+	if b.err != nil {
+		return Message{}, false, b.err
+	}
+	if src != AnySource && b.lost != nil {
+		if err := b.lost[src]; err != nil {
+			return Message{}, false, err
+		}
+	}
+	return Message{}, false, nil
 }
 
 func (w *realWorld) send(c *Comm, dst, tag int, bytes int64, data any) {
@@ -92,6 +168,21 @@ func (w *realWorld) isend(c *Comm, dst, tag int, bytes int64, data any) *Request
 func (w *realWorld) recv(c *Comm, src, tagLo, tagHi int) Message {
 	return w.boxes[c.rank].get(src, tagLo, tagHi)
 }
+
+// recvErr/tryRecv/peerLost give the wall-clock transport the lossy
+// surface (lossyWorld): goroutine ranks never lose peers, so recvErr
+// only ever fails on a poisoned mailbox and peerLost is always false,
+// but implementing the interface lets RecvErr/TryRecv callers behave
+// identically across RunReal and RunNet.
+func (w *realWorld) recvErr(c *Comm, src, tagLo, tagHi int) (Message, error) {
+	return w.boxes[c.rank].getErr(src, tagLo, tagHi)
+}
+
+func (w *realWorld) tryRecv(c *Comm, src, tagLo, tagHi int) (Message, bool, error) {
+	return w.boxes[c.rank].tryGet(src, tagLo, tagHi)
+}
+
+func (w *realWorld) peerLost(r int) bool { return false }
 
 func (w *realWorld) now(c *Comm) float64 { return time.Since(w.start).Seconds() }
 
