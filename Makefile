@@ -1,13 +1,14 @@
 # Tier-1 verification plus the race detector and benchmarks in one place.
 # docs/ci.md documents what each gate pins and how to run them locally.
 #
-#   make check   # build + vet + fmt + godoc lint + test + race: what CI should run
+#   make check   # build + vet + fmt + lint + test + race: what CI should run
+#   make lint    # invariant lint suite (cmd/invarcheck) + godoc lint (cmd/doccheck)
 #   make ci      # check plus the perf regression gates (REPRO_PERF_ASSERT)
 #   make bench   # paper-figure and hot-kernel benchmarks
 #   make fuzz    # short fuzz sessions for the datatype, RLE and wire codecs
 GO ?= go
 
-.PHONY: build test race vet fmtcheck doccheck bench check ci fuzz
+.PHONY: build test race vet fmtcheck doccheck invarcheck lint bench check ci fuzz
 
 build:
 	$(GO) build ./...
@@ -20,9 +21,12 @@ test:
 # suite in internal/core races injected faults against free-running
 # ranks) and the network transport (whose whole mpi suite runs a TCP
 # loopback leg, reader goroutines racing senders) are the concurrent
-# subsystems; run them under the race detector.
+# subsystems; run them under the race detector. The pooled-buffer, tree
+# and solver packages ride along: they are exercised concurrently
+# through the layers above, and running them directly keeps any future
+# internal concurrency covered from day one.
 race:
-	$(GO) test -race ./internal/render/... ./internal/lic/... ./internal/core/... ./internal/compositor/... ./internal/workers/... ./internal/faultinject/... ./internal/pfs/... ./internal/mpiio/... ./internal/mpi/...
+	$(GO) test -race ./internal/render/... ./internal/lic/... ./internal/core/... ./internal/compositor/... ./internal/workers/... ./internal/faultinject/... ./internal/pfs/... ./internal/mpiio/... ./internal/mpi/... ./internal/pool/... ./internal/quadtree/... ./internal/octree/... ./internal/quake/...
 
 vet:
 	$(GO) vet ./...
@@ -40,6 +44,16 @@ fmtcheck:
 doccheck:
 	$(GO) run ./cmd/doccheck $(wildcard internal/*/) $(wildcard cmd/*/) $(wildcard examples/*/) .
 
+# invarcheck runs the invariant lint suite (cmd/invarcheck): allocfree,
+# codecid, decodealias, scratchconfine and errclass, each failing with
+# exact file:line diagnostics. docs/lint.md catalogs the rules.
+invarcheck:
+	$(GO) run ./cmd/invarcheck .
+
+# lint is the repository's static-analysis gate: the invariant suite plus
+# the godoc lint.
+lint: invarcheck doccheck
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem .
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/render/
@@ -51,7 +65,7 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/workers/
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/mpi/
 
-check: build vet fmtcheck doccheck test race
+check: build vet fmtcheck lint test race
 
 # ci is what the GitHub Actions workflow runs: the full functional gates
 # (the allocation-regression, golden-pipeline, fuzz-seed and equivalence

@@ -217,6 +217,8 @@ func blendRLE(dst *img.Image, w int, st Strip, s *subFragment) error {
 // compositeStripInto assembles subfragments into the (cleared) strip canvas
 // in visibility order, front to back. Raw subfragments blend with flat row
 // slices; compressed ones blend straight from the RLE stream.
+//
+//repro:allocfree
 func compositeStripInto(dst *img.Image, w int, st Strip, subs []*subFragment) error {
 	sortSubsByVis(subs)
 	for _, s := range subs {

@@ -1,0 +1,170 @@
+package invarcheck
+
+// codecid: every mpi.RegisterCodec call site must use a codec id that is
+// (a) resolvable to an integer constant at the call site, (b) unique
+// across all scanned packages, and (c) inside the band reserved for its
+// package (DefaultCodecBands mirrors the table on mpi.CodecID). Until
+// this analyzer, the bands were coordinated only by comment; a collision
+// surfaced as an init-time panic — and only in a process that happened to
+// import both registering packages.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// codecSite is one RegisterCodec call: its id and where it happened.
+type codecSite struct {
+	id   uint16
+	file string
+	line int
+	pkg  string
+}
+
+func (r *runner) codecID() ([]Finding, error) {
+	bands := r.cfg.CodecBands
+	if bands == nil {
+		bands = DefaultCodecBands()
+	}
+	var fs []Finding
+	byID := map[uint16]codecSite{}
+	for _, p := range r.pkgs {
+		consts := packageIntConsts(p)
+		for _, abs := range p.sortedFiles() {
+			ast.Inspect(p.files[abs], func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isRegisterCodecCall(call) {
+					return true
+				}
+				file, line := r.position(call.Pos())
+				if len(call.Args) < 1 {
+					return true
+				}
+				id, ok := resolveIntArg(call.Args[0], consts)
+				if !ok {
+					fs = append(fs, Finding{file, line, "codecid",
+						"codec id is not a package-local integer constant; ids are wire format and must be auditable at the call site"})
+					return true
+				}
+				site := codecSite{id: uint16(id), file: file, line: line, pkg: p.ImportPath}
+				if prev, dup := byID[site.id]; dup {
+					fs = append(fs, Finding{file, line, "codecid",
+						fmt.Sprintf("codec id %d already registered at %s:%d (%s); ids are process-global wire format", site.id, prev.file, prev.line, prev.pkg)})
+				} else {
+					byID[site.id] = site
+				}
+				lo, hi, found := bandFor(bands, p.ImportPath)
+				if !found {
+					fs = append(fs, Finding{file, line, "codecid",
+						fmt.Sprintf("package %s has no reserved codec-id band; reserve one in mpi.CodecID's table and invarcheck's DefaultCodecBands", p.ImportPath)})
+				} else if site.id < lo || site.id > hi {
+					fs = append(fs, Finding{file, line, "codecid",
+						fmt.Sprintf("codec id %d outside the band [%d, %d] reserved for %s", site.id, lo, hi, p.ImportPath)})
+				}
+				return true
+			})
+		}
+	}
+	return fs, nil
+}
+
+// isRegisterCodecCall matches `mpi.RegisterCodec(...)` under any package
+// alias, and the bare `RegisterCodec(...)` used inside package mpi.
+func isRegisterCodecCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "RegisterCodec"
+	case *ast.Ident:
+		return fun.Name == "RegisterCodec"
+	}
+	return false
+}
+
+// packageIntConsts collects the package's const declarations whose values
+// are integer literals (the shape every codec-id block uses), so id
+// arguments referring to named constants resolve without a full type
+// check.
+func packageIntConsts(p *pkg) map[string]uint64 {
+	m := map[string]uint64{}
+	for _, af := range p.files {
+		for _, d := range af.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, name := range vs.Names {
+					if v, ok := intLit(vs.Values[i]); ok {
+						m[name.Name] = v
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// intLit evaluates an integer literal, optionally wrapped in parens or a
+// conversion like mpi.CodecID(48).
+func intLit(e ast.Expr) (uint64, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.INT {
+			return 0, false
+		}
+		v, err := strconv.ParseUint(e.Value, 0, 16)
+		if err != nil {
+			return 0, false
+		}
+		return v, true
+	case *ast.ParenExpr:
+		return intLit(e.X)
+	case *ast.CallExpr: // conversion: CodecID(48)
+		if len(e.Args) == 1 {
+			return intLit(e.Args[0])
+		}
+	}
+	return 0, false
+}
+
+// resolveIntArg resolves a RegisterCodec id argument: a literal, a
+// conversion of a literal, or a package-local named constant.
+func resolveIntArg(e ast.Expr, consts map[string]uint64) (uint64, bool) {
+	if v, ok := intLit(e); ok {
+		return v, true
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		v, ok := consts[e.Name]
+		return v, ok
+	case *ast.ParenExpr:
+		return resolveIntArg(e.X, consts)
+	case *ast.CallExpr:
+		if len(e.Args) == 1 {
+			return resolveIntArg(e.Args[0], consts)
+		}
+	}
+	return 0, false
+}
+
+// bandFor finds the reserved band whose import-path suffix matches the
+// package, preferring the longest (most specific) suffix.
+func bandFor(bands map[string][2]uint16, importPath string) (lo, hi uint16, ok bool) {
+	best := -1
+	for suffix, b := range bands {
+		if importPath == suffix || strings.HasSuffix(importPath, "/"+suffix) {
+			if len(suffix) > best {
+				best = len(suffix)
+				lo, hi, ok = b[0], b[1], true
+			}
+		}
+	}
+	return lo, hi, ok
+}

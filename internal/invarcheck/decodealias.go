@@ -1,0 +1,281 @@
+package invarcheck
+
+// decodealias: wire-codec Decode hooks receive the transport's reused
+// frame scratch as their `wire []byte` parameter. The codec contract
+// (mpi.Codec, docs/ownership.md "Serialization boundary") is that the
+// decoded payload never aliases it — the reader goroutine overwrites the
+// buffer with the next frame. This analyzer mechanizes the rule: inside
+// any Decode hook (a func with the `func([]byte) (any, error)` shape, or
+// a literal bound to an mpi.Codec Decode field), an assignment that
+// stores the wire slice — or anything aliasing it: a subslice, a
+// WireReader.Bytes result, a composite literal carrying one — into a
+// struct field or package variable is a finding, as is returning one.
+//
+// Copies launder the taint: `append(dst, wire...)`, `string(wire)`,
+// copy(dst, wire) and WireReader.Float32s all produce owned memory.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+func (r *runner) decodeAlias() ([]Finding, error) {
+	var fs []Finding
+	for _, p := range r.pkgs {
+		pkgVars := packageVarNames(p)
+		for _, abs := range p.sortedFiles() {
+			af := p.files[abs]
+			ast.Inspect(af, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if param, ok := decodeHookParam(n.Type); ok {
+						fs = append(fs, r.checkDecodeBody(n.Body, param, pkgVars)...)
+					}
+				case *ast.KeyValueExpr:
+					// Codec{..., Decode: func(wire []byte) (any, error) {...}}
+					if key, ok := n.Key.(*ast.Ident); ok && key.Name == "Decode" {
+						if lit, ok := n.Value.(*ast.FuncLit); ok {
+							if param, ok := decodeHookParam(lit.Type); ok {
+								fs = append(fs, r.checkDecodeBody(lit.Body, param, pkgVars)...)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return fs, nil
+}
+
+// decodeHookParam reports whether ft has the Decode hook shape
+// `func(wire []byte) (any, error)` and returns the wire parameter name.
+func decodeHookParam(ft *ast.FuncType) (string, bool) {
+	if ft.Params == nil || len(ft.Params.List) != 1 || len(ft.Params.List[0].Names) != 1 {
+		return "", false
+	}
+	if !isByteSlice(ft.Params.List[0].Type) {
+		return "", false
+	}
+	if ft.Results == nil || len(ft.Results.List) != 2 {
+		return "", false
+	}
+	res0, res1 := ft.Results.List[0].Type, ft.Results.List[1].Type
+	if !isAnyType(res0) {
+		return "", false
+	}
+	if id, ok := res1.(*ast.Ident); !ok || id.Name != "error" {
+		return "", false
+	}
+	return ft.Params.List[0].Names[0].Name, true
+}
+
+func isByteSlice(e ast.Expr) bool {
+	at, ok := e.(*ast.ArrayType)
+	if !ok || at.Len != nil {
+		return false
+	}
+	id, ok := at.Elt.(*ast.Ident)
+	return ok && id.Name == "byte"
+}
+
+func isAnyType(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "any"
+	case *ast.InterfaceType:
+		return e.Methods == nil || len(e.Methods.List) == 0
+	}
+	return false
+}
+
+// taint tracks which local names alias the wire buffer within one hook
+// body: slices derived from the wire parameter, and WireReaders cursoring
+// over it (whose Bytes results alias it too).
+type taint struct {
+	slices  map[string]bool
+	readers map[string]bool
+}
+
+// checkDecodeBody walks one Decode hook body in syntactic order,
+// propagating the wire taint through assignments and flagging stores that
+// retain an aliasing slice beyond the call.
+func (r *runner) checkDecodeBody(body *ast.BlockStmt, wireParam string, pkgVars map[string]bool) []Finding {
+	if body == nil {
+		return nil
+	}
+	t := &taint{slices: map[string]bool{wireParam: true}, readers: map[string]bool{}}
+	var fs []Finding
+	flag := func(pos token.Pos, format string, args ...any) {
+		file, line := r.position(pos)
+		fs = append(fs, Finding{file, line, "decodealias", fmt.Sprintf(format, args...)})
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break // multi-value call assignment: nothing tainted
+				}
+				rhs := n.Rhs[i]
+				switch {
+				case t.isReaderSource(rhs):
+					if id, ok := lhs.(*ast.Ident); ok {
+						t.readers[id.Name] = true
+					}
+				case t.carriesWire(rhs):
+					switch l := lhs.(type) {
+					case *ast.Ident:
+						if pkgVars[l.Name] {
+							flag(n.Pos(), "decoded payload retains the wire buffer in package variable %q; copy — the reader reuses the frame scratch", l.Name)
+						} else {
+							t.slices[l.Name] = true
+						}
+					case *ast.SelectorExpr:
+						flag(n.Pos(), "decoded payload retains the wire buffer in field %q; copy — the reader reuses the frame scratch", exprString(l))
+					case *ast.IndexExpr:
+						flag(n.Pos(), "decoded payload retains the wire buffer in element %q; copy — the reader reuses the frame scratch", exprString(l.X))
+					}
+				default:
+					// A clean reassignment clears a stale taint.
+					if id, ok := lhs.(*ast.Ident); ok && n.Tok == token.ASSIGN {
+						delete(t.slices, id.Name)
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if t.carriesWire(res) {
+					flag(n.Pos(), "decoded payload returns an alias of the wire buffer; copy — the reader reuses the frame scratch")
+				}
+			}
+		}
+		return true
+	})
+	return fs
+}
+
+// isReaderSource matches `mpi.NewWireReader(tainted)` (or a bare
+// NewWireReader inside package mpi).
+func (t *taint) isReaderSource(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return false
+	}
+	name := ""
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		name = fun.Sel.Name
+	case *ast.Ident:
+		name = fun.Name
+	}
+	return name == "NewWireReader" && t.carriesWire(call.Args[0])
+}
+
+// carriesWire reports whether evaluating e yields memory aliasing the
+// wire buffer: the tainted names themselves, subslices of them, reader
+// Bytes() results, and composite values carrying any of those.
+func (t *taint) carriesWire(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return t.slices[e.Name]
+	case *ast.ParenExpr:
+		return t.carriesWire(e.X)
+	case *ast.SliceExpr:
+		return t.carriesWire(e.X)
+	case *ast.UnaryExpr:
+		return t.carriesWire(e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if t.carriesWire(v) {
+				return true
+			}
+		}
+		return false
+	case *ast.CallExpr:
+		return t.taintedCall(e)
+	}
+	return false
+}
+
+// taintedCall classifies call results: reader.Bytes aliases the wire;
+// append with non-spread element args propagates any alias those elements
+// carry (the slice header is copied into the backing array, still
+// pointing at the wire); append(dst, wire...) and conversions copy.
+func (t *taint) taintedCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fun.Sel.Name == "Bytes" {
+			if recv, ok := rootIdent(fun.X); ok {
+				return t.readers[recv]
+			}
+		}
+	case *ast.Ident:
+		if fun.Name == "append" && call.Ellipsis == token.NoPos {
+			for _, arg := range call.Args[1:] {
+				if t.carriesWire(arg) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// rootIdent unwraps &x / (x) / x.y chains to the base identifier.
+func rootIdent(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.UnaryExpr:
+		return rootIdent(e.X)
+	case *ast.ParenExpr:
+		return rootIdent(e.X)
+	}
+	return "", false
+}
+
+// exprString renders a small expression (selector chains) for messages.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.UnaryExpr:
+		return exprString(e.X)
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	}
+	return "?"
+}
+
+// packageVarNames collects the names of package-level vars, so a Decode
+// hook storing wire-aliasing bytes into one is caught even though the
+// assignment target is a bare identifier.
+func packageVarNames(p *pkg) map[string]bool {
+	m := map[string]bool{}
+	for _, af := range p.files {
+		for _, d := range af.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						m[name.Name] = true
+					}
+				}
+			}
+		}
+	}
+	return m
+}

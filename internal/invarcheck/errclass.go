@@ -1,0 +1,102 @@
+package invarcheck
+
+// errclass: the fault model (docs/faults.md) routes every read-path
+// failure through pfs's typed sentinels — ErrTransient, ErrPermanent,
+// ErrCorrupt, ErrShortRead — and treats anything unclassified as
+// permanent. That default is the trap: a new `fmt.Errorf` in the I/O
+// layers compiles, passes tests, and silently opts its failure mode out
+// of retry/degrade classification. This analyzer requires every error
+// constructed inside internal/pfs and internal/mpiio function bodies to
+// wrap (%w) either a sentinel or an incoming (already classified) error;
+// bare errors.New in function bodies is flagged the same way. The
+// package-level sentinel declarations themselves live outside function
+// bodies and are exempt by construction.
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+const errClassMsg = "unclassified error: wrap a pfs sentinel or an incoming error with %w so retry/degrade classification (docs/faults.md) cannot silently default to permanent"
+
+func (r *runner) errClass() ([]Finding, error) {
+	scopes := r.cfg.ErrClassPkgs
+	if scopes == nil {
+		scopes = DefaultErrClassPkgs()
+	}
+	var fs []Finding
+	for _, p := range r.pkgs {
+		if !pathInScope(p.ImportPath, scopes) {
+			continue
+		}
+		for _, abs := range p.sortedFiles() {
+			if p.isTestFile(abs) {
+				continue // tests construct throwaway errors freely
+			}
+			af := p.files[abs]
+			for _, d := range af.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					pkgID, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch {
+					case pkgID.Name == "errors" && sel.Sel.Name == "New":
+						file, line := r.position(call.Pos())
+						fs = append(fs, Finding{file, line, "errclass", errClassMsg})
+					case pkgID.Name == "fmt" && sel.Sel.Name == "Errorf":
+						if !errorfWraps(call) {
+							file, line := r.position(call.Pos())
+							fs = append(fs, Finding{file, line, "errclass", errClassMsg})
+						}
+					}
+					return true
+				})
+			}
+		}
+	}
+	return fs, nil
+}
+
+// errorfWraps reports whether a fmt.Errorf call's constant format string
+// contains at least one %w verb. A non-constant format cannot be audited
+// and counts as unclassified.
+func errorfWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return false
+	}
+	format, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return false
+	}
+	return strings.Contains(format, "%w")
+}
+
+// pathInScope reports whether importPath matches one of the configured
+// package suffixes.
+func pathInScope(importPath string, scopes []string) bool {
+	for _, s := range scopes {
+		if importPath == s || strings.HasSuffix(importPath, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

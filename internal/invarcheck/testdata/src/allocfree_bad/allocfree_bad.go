@@ -1,0 +1,23 @@
+// Package allocfree_bad annotates functions that demonstrably allocate:
+// a local moved to the heap by a retained pointer, and a variable-size
+// make escaping through the return value.
+package allocfree_bad
+
+var sink *int
+
+// Leak pins a local into the heap.
+//
+//repro:allocfree
+func Leak() int {
+	x := 42
+	sink = &x
+	return *sink
+}
+
+// Grow returns a freshly allocated buffer every call.
+//
+//repro:allocfree
+func Grow(n int) []byte {
+	buf := make([]byte, n)
+	return buf
+}

@@ -1,0 +1,31 @@
+// Package allocfree_clean annotates functions whose steady state is
+// allocation-free: error-path boxing is cold by contract, and the one
+// deliberate heap pin carries a line suppression.
+package allocfree_clean
+
+import "fmt"
+
+var sink *int
+
+// Sum allocates only on its error path.
+//
+//repro:allocfree
+func Sum(xs []int) (int, error) {
+	if len(xs) == 0 {
+		return 0, fmt.Errorf("allocfree_clean: empty input of len %d", len(xs))
+	}
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s, nil
+}
+
+// Pin retains one pointer on purpose; the suppression sits on the line
+// the compiler attributes the move to (the declaration).
+//
+//repro:allocfree
+func Pin() {
+	x := 7 //repro:allow allocfree: deliberate one-time pin, fixture for suppression
+	sink = &x
+}

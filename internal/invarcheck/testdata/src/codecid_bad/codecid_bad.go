@@ -1,0 +1,19 @@
+// Package codecid_bad seeds codecid violations — duplicate, out-of-band
+// and unauditable ids — for invarcheck's own tests, which scan it with a
+// reserved band of [10, 15].
+package codecid_bad
+
+// RegisterCodec mimics mpi.RegisterCodec's shape; the analyzer matches
+// call sites by name, keeping the fixture dependency-free.
+func RegisterCodec(id uint16, name string) {}
+
+const codecExtra = 20
+
+var dynamicID uint16 = 12
+
+func register() {
+	RegisterCodec(10, "a")
+	RegisterCodec(10, "b")
+	RegisterCodec(codecExtra, "c")
+	RegisterCodec(dynamicID, "d")
+}

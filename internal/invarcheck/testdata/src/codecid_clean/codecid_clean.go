@@ -1,0 +1,17 @@
+// Package codecid_clean registers codecs the approved way: unique named
+// constants inside the package's reserved band ([10, 15] in the test's
+// band table).
+package codecid_clean
+
+// RegisterCodec mimics mpi.RegisterCodec's shape.
+func RegisterCodec(id uint16, name string) {}
+
+const (
+	idFrame = 12
+	idAck   = 13
+)
+
+func register() {
+	RegisterCodec(idFrame, "frame")
+	RegisterCodec(idAck, "ack")
+}

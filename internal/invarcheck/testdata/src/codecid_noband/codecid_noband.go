@@ -1,0 +1,11 @@
+// Package codecid_noband registers a codec from a package with no
+// reserved id band — invarcheck's tests scan it with a band table that
+// does not mention it.
+package codecid_noband
+
+// RegisterCodec mimics mpi.RegisterCodec's shape.
+func RegisterCodec(id uint16, name string) {}
+
+func register() {
+	RegisterCodec(96, "stray")
+}

@@ -1,0 +1,33 @@
+// Package decodealias_bad seeds every way a Decode hook can retain the
+// transport's reused wire buffer: a struct-field store, a package-variable
+// store, a returned subslice, and a WireReader.Bytes alias smuggled
+// through a composite literal.
+package decodealias_bad
+
+type reader struct{ b []byte }
+
+// NewWireReader mimics mpi.NewWireReader; the analyzer matches the
+// constructor by name.
+func NewWireReader(b []byte) *reader { return &reader{b: b} }
+
+// Bytes returns a window aliasing the underlying buffer, like
+// mpi.WireReader.Bytes.
+func (r *reader) Bytes() []byte { return r.b }
+
+type frame struct {
+	payload []byte
+}
+
+var lastPayload []byte
+
+func (f *frame) decode(wire []byte) (any, error) {
+	f.payload = wire[4:]
+	lastPayload = wire
+	return wire[:2], nil
+}
+
+func decodeViaReader(wire []byte) (any, error) {
+	r := NewWireReader(wire)
+	b := r.Bytes()
+	return frame{payload: b}, nil
+}

@@ -1,0 +1,15 @@
+// Package decodealias_clean shows the sanctioned Decode idioms: copying
+// the wire bytes with an ellipsis append or a string conversion before
+// anything retains them.
+package decodealias_clean
+
+type payload struct{ b []byte }
+
+func decodeCopy(wire []byte) (any, error) {
+	out := append([]byte(nil), wire...)
+	return payload{b: out}, nil
+}
+
+func decodeString(wire []byte) (any, error) {
+	return string(wire), nil
+}

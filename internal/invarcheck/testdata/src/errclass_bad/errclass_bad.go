@@ -1,0 +1,18 @@
+// Package errclass_bad constructs errors inside function bodies without
+// wrapping a sentinel — exactly the unclassified-permanent trap errclass
+// exists to catch.
+package errclass_bad
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errSentinel = errors.New("errclass_bad: sentinel")
+
+func fail(n int) error {
+	if n < 0 {
+		return errors.New("errclass_bad: negative")
+	}
+	return fmt.Errorf("errclass_bad: bad count %d", n)
+}

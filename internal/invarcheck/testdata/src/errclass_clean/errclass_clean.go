@@ -1,0 +1,24 @@
+// Package errclass_clean classifies every error it constructs: %w wraps
+// the package sentinel, and the one deliberate exception carries a line
+// suppression.
+package errclass_clean
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad is the package's classification sentinel; declaring it at
+// package scope is exempt by construction.
+var ErrBad = errors.New("errclass_clean: bad input")
+
+func fail(n int) error {
+	if n < 0 {
+		return fmt.Errorf("errclass_clean: negative %d: %w", n, ErrBad)
+	}
+	return nil
+}
+
+func failUnchecked() error {
+	return errors.New("errclass_clean: suppressed") //repro:allow errclass: fixture proving suppression works
+}

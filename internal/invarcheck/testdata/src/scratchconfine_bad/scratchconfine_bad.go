@@ -1,0 +1,27 @@
+// Package scratchconfine_bad hands per-rank scratches and a worker pool
+// across `go` statements in every shape the analyzer flags: closure
+// capture, spawned-call argument, spawned method receiver, and pool
+// capture.
+package scratchconfine_bad
+
+import "repro/internal/workers"
+
+type rowScratch struct {
+	rows []float64
+}
+
+func (s *rowScratch) fill() {}
+
+func consume(s *rowScratch) {}
+
+func spawnAll(p *workers.Pool) {
+	s := &rowScratch{}
+	go func() {
+		s.fill()
+	}()
+	go consume(s)
+	go s.fill()
+	go func() {
+		p.Run(1, 1, func(int) {})
+	}()
+}

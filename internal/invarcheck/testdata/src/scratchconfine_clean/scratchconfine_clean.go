@@ -1,0 +1,17 @@
+// Package scratchconfine_clean fans work out the sanctioned way: the
+// scratch stays on the dispatching goroutine's side of a prebound
+// workers.Pool.Run, and `go` closures capture only plain values.
+package scratchconfine_clean
+
+import "repro/internal/workers"
+
+type rowScratch struct {
+	rows []float64
+}
+
+func renderRows(p *workers.Pool, s *rowScratch) {
+	fn := func(i int) { _ = s.rows }
+	p.Run(2, 4, fn)
+	n := 3
+	go func() { _ = n }()
+}

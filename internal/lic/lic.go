@@ -89,6 +89,8 @@ func Compute(field *quadtree.Grid, w, h int, cfg Config) (*Image, error) {
 // persistent pool and the steady state is allocation-free for any worker
 // count. A nil scr allocates fresh buffers, identical to Compute. Output
 // is bit-identical for any scr/pool combination.
+//
+//repro:allocfree
 func ComputeWith(field *quadtree.Grid, w, h int, cfg Config, scr *Scratch) (*Image, error) {
 	if w <= 0 || h <= 0 {
 		return nil, fmt.Errorf("lic: invalid size %dx%d", w, h)
@@ -104,10 +106,10 @@ func ComputeWith(field *quadtree.Grid, w, h int, cfg Config, scr *Scratch) (*Ima
 		noise = scr.noiseFor(w, h, cfg.Seed)
 		out = &scr.out
 		out.W, out.H = w, h
-		out.Pix = pool.Grow(out.Pix, w*h)
+		out.Pix = pool.Grow(out.Pix, w*h) //repro:allow allocfree: amortized scratch growth
 	} else {
-		noise = WhiteNoise(w, h, cfg.Seed)
-		out = &Image{W: w, H: h, Pix: make([]float32, w*h)}
+		noise = WhiteNoise(w, h, cfg.Seed)                  //repro:allow allocfree: nil-scratch path allocates by contract
+		out = &Image{W: w, H: h, Pix: make([]float32, w*h)} //repro:allow allocfree: nil-scratch path allocates by contract
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -133,11 +135,13 @@ func ComputeWith(field *quadtree.Grid, w, h int, cfg Config, scr *Scratch) (*Ima
 // and reads its arguments from the scratch, so the steady state allocates
 // nothing; the band partitioning (and every pixel's arithmetic) is
 // identical to the spawn path.
+//
+//repro:allocfree
 func (s *Scratch) convolvePooled(field *quadtree.Grid, noise *Image, out *Image, h, workers int, cfg Config) {
 	rows := (h + workers - 1) / workers
 	s.band = bandJob{field: field, noise: noise, out: out, cfg: cfg, rows: rows, h: h}
 	if s.bandFn == nil {
-		s.bandFn = func(i int) {
+		s.bandFn = func(i int) { //repro:allow allocfree: band closure prebound once per scratch
 			b := &s.band
 			lo := i * b.rows
 			hi := lo + b.rows

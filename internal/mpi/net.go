@@ -606,6 +606,8 @@ func (w *netWorld) acceptHellos(deadline time.Time, want int) error {
 // appendFrame encodes one frame into buf (reusing its capacity) and
 // patches the length prefix. seq 0 with nil data is a pure control
 // frame.
+//
+//repro:allocfree
 func appendFrame(buf []byte, seq, ack, tag, nbytes uint64, data any) ([]byte, error) {
 	buf = append(buf, 0, 0, 0, 0)
 	buf = binary.LittleEndian.AppendUint64(buf, seq)
@@ -623,6 +625,11 @@ func appendFrame(buf []byte, seq, ack, tag, nbytes uint64, data any) ([]byte, er
 	return buf, nil
 }
 
+// send delivers one message to dst: reference delivery to self, framed
+// write on the pooled connection otherwise. The frame buffer and wire
+// codec scratch are reused, so the steady-state send allocates nothing.
+//
+//repro:allocfree
 func (w *netWorld) send(c *Comm, dst, tag int, bytes int64, data any) {
 	if dst == c.rank {
 		// Reference delivery, no serialization: a rank talking to itself
@@ -1284,12 +1291,14 @@ func (w *netWorld) beat(p *netPeer) {
 // decoded payloads never alias it (codec contract). All malformed input
 // — hostile lengths, truncated frames, unknown codecs — returns an
 // error, never panics.
+//
+//repro:allocfree
 func readFrame(br *bufio.Reader, scratch *[]byte) (Message, uint64, uint64, error) {
 	// The length prefix is read into the reused body scratch (a local
 	// [4]byte would escape through the io.Reader interface and put one
 	// heap object on every frame).
 	if cap(*scratch) < 4 {
-		*scratch = make([]byte, 4)
+		*scratch = make([]byte, 4) //repro:allow allocfree: one-time scratch init
 	}
 	hdr := (*scratch)[:4]
 	if _, err := io.ReadFull(br, hdr); err != nil {
@@ -1328,6 +1337,8 @@ func readFrame(br *bufio.Reader, scratch *[]byte) (Message, uint64, uint64, erro
 // is a single zero-allocation ReadFull; otherwise it grows in bounded
 // chunks as bytes actually arrive, so a hostile length prefix on a
 // truncated stream cannot force a huge up-front allocation.
+//
+//repro:allocfree
 func readFrameBody(br *bufio.Reader, scratch *[]byte, n int) ([]byte, error) {
 	buf := *scratch
 	if cap(buf) >= n {
@@ -1344,7 +1355,7 @@ func readFrameBody(br *bufio.Reader, scratch *[]byte, n int) ([]byte, error) {
 	for got := 0; got < n; {
 		c := min(n-got, 1<<20)
 		if cap(buf) < got+c {
-			nbuf := make([]byte, got+c)
+			nbuf := make([]byte, got+c) //repro:allow allocfree: bounded-chunk growth of the reused scratch
 			copy(nbuf, buf[:got])
 			buf = nbuf
 		} else {

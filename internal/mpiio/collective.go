@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/mpi"
+	"repro/internal/pfs"
 	"repro/internal/pool"
 )
 
@@ -262,9 +263,11 @@ func lookupRun(runs []physRun, packed []byte, off, n int64) []byte {
 // must not re-issue a completed collective from one rank alone (the peers
 // have moved on); recovery above this layer means degrading, and transient
 // faults are expected to be healed *below* it (pfs.RetryStore).
+//
+//repro:allocfree
 func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
 	c := f.c
-	s := f.collective()
+	s := f.collective() //repro:allow allocfree: lazy scratch init, first collective only
 	mySegs, err := f.segs()
 	if err != nil {
 		return 0, err
@@ -274,7 +277,7 @@ func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
 		useful += sg.Len
 	}
 	if int64(len(dst)) < useful {
-		return 0, fmt.Errorf("mpiio: ReadAllInto buffer holds %d of %d view bytes", len(dst), useful)
+		return 0, fmt.Errorf("mpiio: ReadAllInto buffer holds %d of %d view bytes: %w", len(dst), useful, pfs.ErrPermanent)
 	}
 	// Phase 0: exchange request metadata — the epoch boundary.
 	all := s.exchangeMeta(c, seq, mySegs)
@@ -315,7 +318,7 @@ func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
 	// The packed buffer and the per-destination batches belong to the
 	// epoch: pieces shipped to other ranks alias them until released.
 	ep := s.acquireEpoch(c.Size())
-	ep.packed = pool.Grow(ep.packed, int(total))
+	ep.packed = pool.Grow(ep.packed, int(total)) //repro:allow allocfree: amortized epoch-buffer growth
 	packed := ep.packed[:total]
 	s.runs = s.runs[:0]
 	base := int64(0)
@@ -365,7 +368,7 @@ func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
 	// segment's packed position; own pieces come straight from the runs,
 	// received batches are copied and released.
 	if cap(f.prefix) < len(mySegs)+1 {
-		f.prefix = make([]int64, len(mySegs)+1)
+		f.prefix = make([]int64, len(mySegs)+1) //repro:allow allocfree: amortized growth, guarded by cap check
 	}
 	prefix := f.prefix[:len(mySegs)+1]
 	prefix[0] = 0
@@ -378,7 +381,7 @@ func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
 			n := assemblePiece(dst, mySegs, prefix, piece{Off: cl.Off, Data: lookupRun(s.runs, packed, cl.Off, cl.Len)})
 			if n < 0 {
 				ep.release()
-				return 0, fmt.Errorf("mpiio: received stray piece at %d", cl.Off)
+				return 0, fmt.Errorf("mpiio: received stray piece at %d: %w", cl.Off, pfs.ErrPermanent)
 			}
 			filled += n
 		}
@@ -392,14 +395,14 @@ func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
 		b, ok := msg.Data.(*pieceBatch)
 		if !ok || b == nil {
 			if msg.Data != nil && recvErr == nil {
-				recvErr = fmt.Errorf("mpiio: collective shuffle got unexpected payload %T from rank %d", msg.Data, sr)
+				recvErr = fmt.Errorf("mpiio: collective shuffle got unexpected payload %T from rank %d: %w", msg.Data, sr, pfs.ErrPermanent)
 			}
 			continue
 		}
 		for _, pc := range b.ps {
 			if n := assemblePiece(dst, mySegs, prefix, pc); n < 0 {
 				if recvErr == nil {
-					recvErr = fmt.Errorf("mpiio: received stray piece at %d", pc.Off)
+					recvErr = fmt.Errorf("mpiio: received stray piece at %d: %w", pc.Off, pfs.ErrPermanent)
 				}
 			} else {
 				filled += n
@@ -417,7 +420,7 @@ func (f *File) ReadAllInto(seq int, dst []byte) (int, error) {
 		return 0, recvErr
 	}
 	if filled != useful {
-		return 0, fmt.Errorf("mpiio: two-phase assembled %d of %d bytes", filled, useful)
+		return 0, fmt.Errorf("mpiio: two-phase assembled %d of %d bytes: %w", filled, useful, pfs.ErrPermanent)
 	}
 	f.UsefulBytes += useful
 	return int(useful), nil

@@ -8,6 +8,8 @@ package mpiio
 import (
 	"fmt"
 	"slices"
+
+	"repro/internal/pfs"
 )
 
 // Segment is a contiguous byte range of a file.
@@ -149,7 +151,7 @@ func shiftInto(dst, segs []Segment, disp int64) []Segment {
 func validate(segs []Segment) error {
 	for _, s := range segs {
 		if s.Off < 0 || s.Len < 0 {
-			return fmt.Errorf("mpiio: invalid segment %+v", s)
+			return fmt.Errorf("mpiio: invalid segment %+v: %w", s, pfs.ErrPermanent)
 		}
 	}
 	return nil

@@ -120,7 +120,7 @@ func (f *File) segs() ([]Segment, error) {
 	if f.viewErr == nil {
 		for _, seg := range f.viewSegs {
 			if seg.Off+seg.Len > f.size {
-				f.viewErr = fmt.Errorf("mpiio: view segment [%d,%d) beyond EOF of %q (size %d)", seg.Off, seg.Off+seg.Len, f.name, f.size)
+				f.viewErr = fmt.Errorf("mpiio: view segment [%d,%d) beyond EOF of %q (size %d): %w", seg.Off, seg.Off+seg.Len, f.name, f.size, pfs.ErrPermanent)
 				break
 			}
 		}
@@ -198,7 +198,7 @@ func (f *File) ReadInto(dst []byte) (int, error) {
 		useful += s.Len
 	}
 	if int64(len(dst)) < useful {
-		return 0, fmt.Errorf("mpiio: ReadInto buffer holds %d of %d view bytes", len(dst), useful)
+		return 0, fmt.Errorf("mpiio: ReadInto buffer holds %d of %d view bytes: %w", len(dst), useful, pfs.ErrPermanent)
 	}
 	f.plan = planSieveInto(f.plan[:0], segs, f.SieveGap)
 	var total int64
@@ -237,7 +237,7 @@ func (f *File) ReadContig(off, n int64) ([]byte, error) {
 	// Validate before sizing the buffer: an out-of-range request must fail
 	// fast, not attempt the allocation.
 	if off < 0 || n < 0 || off+n > f.size {
-		return nil, fmt.Errorf("mpiio: contiguous read [%d,%d) beyond EOF of %q", off, off+n, f.name)
+		return nil, fmt.Errorf("mpiio: contiguous read [%d,%d) beyond EOF of %q: %w", off, off+n, f.name, pfs.ErrPermanent)
 	}
 	buf := make([]byte, n)
 	if err := f.ReadContigInto(off, buf); err != nil {
@@ -251,7 +251,7 @@ func (f *File) ReadContig(off, n int64) ([]byte, error) {
 func (f *File) ReadContigInto(off int64, dst []byte) error {
 	n := int64(len(dst))
 	if off < 0 || off+n > f.size {
-		return fmt.Errorf("mpiio: contiguous read [%d,%d) beyond EOF of %q", off, off+n, f.name)
+		return fmt.Errorf("mpiio: contiguous read [%d,%d) beyond EOF of %q: %w", off, off+n, f.name, pfs.ErrPermanent)
 	}
 	if err := f.st.ReadAt(f.c, f.name, off, dst); err != nil {
 		return err
@@ -308,7 +308,7 @@ func (f *File) readAllIntoPerCall(seq int, dst []byte) (int, error) {
 		useful += s.Len
 	}
 	if int64(len(dst)) < useful {
-		return 0, fmt.Errorf("mpiio: ReadAllInto buffer holds %d of %d view bytes", len(dst), useful)
+		return 0, fmt.Errorf("mpiio: ReadAllInto buffer holds %d of %d view bytes: %w", len(dst), useful, pfs.ErrPermanent)
 	}
 	// Phase 0: exchange request metadata.
 	metaBytes := int64(16 * len(mySegs))
@@ -433,13 +433,13 @@ func (f *File) readAllIntoPerCall(seq int, dst []byte) (int, error) {
 	for _, pc := range mine {
 		si := findSegIdx(mySegs, pc.Off)
 		if si < 0 {
-			return 0, fmt.Errorf("mpiio: received stray piece at %d", pc.Off)
+			return 0, fmt.Errorf("mpiio: received stray piece at %d: %w", pc.Off, pfs.ErrPermanent)
 		}
 		copy(dst[prefix[si]+pc.Off-mySegs[si].Off:], pc.Data)
 		filled += int64(len(pc.Data))
 	}
 	if filled != useful {
-		return 0, fmt.Errorf("mpiio: two-phase assembled %d of %d bytes", filled, useful)
+		return 0, fmt.Errorf("mpiio: two-phase assembled %d of %d bytes: %w", filled, useful, pfs.ErrPermanent)
 	}
 	f.UsefulBytes += useful
 	return int(useful), nil

@@ -125,7 +125,7 @@ func NewDirStore(dir string) (*DirStore, error) {
 
 func (s *DirStore) path(name string) (string, error) {
 	if strings.Contains(name, "..") {
-		return "", fmt.Errorf("pfs: invalid object name %q", name)
+		return "", fmt.Errorf("pfs: invalid object name %q: %w", name, ErrPermanent)
 	}
 	return filepath.Join(s.Dir, name), nil
 }

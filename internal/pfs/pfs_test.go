@@ -2,6 +2,7 @@ package pfs
 
 import (
 	"bytes"
+	"errors"
 	"sync"
 	"testing"
 	"time"
@@ -196,4 +197,13 @@ func TestWaitStoreConcurrentReaders(t *testing.T) {
 	time.Sleep(5 * time.Millisecond)
 	w.Write("obj", []byte("ok"))
 	wg.Wait()
+}
+
+func TestInvalidObjectNameClassifiedPermanent(t *testing.T) {
+	// PR 9: the errclass analyzer requires every pfs error to wrap a
+	// sentinel; the path-traversal rejection is explicitly permanent.
+	st := &DirStore{Dir: t.TempDir()}
+	if err := st.ReadAt(nil, "../escape", 0, make([]byte, 1)); !errors.Is(err, ErrPermanent) {
+		t.Errorf("traversal name: err = %v, want ErrPermanent", err)
+	}
 }

@@ -242,6 +242,8 @@ func ExtractBlockData(m *mesh.Mesh, scalar []float32, block octree.Block, level 
 // grown. Duplicate coarsened cells are eliminated by comparing against the
 // previous cell: block leaves arrive in octree Key order, so every leaf
 // coarsening to the same ancestor is consecutive and no map is needed.
+//
+//repro:allocfree
 func ExtractBlockDataInto(bd *BlockData, m *mesh.Mesh, scalar []float32, block octree.Block, level uint8) error {
 	if len(scalar) < m.NumNodes() {
 		return fmt.Errorf("render: scalar array has %d entries for %d nodes", len(scalar), m.NumNodes())

@@ -272,6 +272,8 @@ func (r *Renderer) renderBlockSerialWith(bd *BlockData, view *View, rs *RenderSc
 // castRay integrates the volume rendering equation front-to-back along one
 // ray segment. The sampler provides cached cell location and the baked TF
 // table provides emission/density, keeping the loop allocation-free.
+//
+//repro:allocfree
 func (r *Renderer) castRay(s *sampler, o, d Vec3, t0, t1, step float64) (cr, cg, cb, ca float32) {
 	var ar, ag, ab, aa float64
 	for t := t0 + step/2; t < t1; t += step {
