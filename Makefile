@@ -5,7 +5,7 @@
 #   make lint    # invariant lint suite (cmd/invarcheck) + godoc lint (cmd/doccheck)
 #   make ci      # check plus the perf regression gates (REPRO_PERF_ASSERT)
 #   make bench   # paper-figure and hot-kernel benchmarks
-#   make fuzz    # short fuzz sessions for the datatype, RLE and wire codecs
+#   make fuzz    # short fuzz sessions: datatype/RLE/wire codecs + request parser
 GO ?= go
 
 .PHONY: build test race vet fmtcheck doccheck invarcheck lint bench check ci fuzz
@@ -19,14 +19,16 @@ test:
 # The worker-pool renderer, LIC convolution, compositor, pipeline, the
 # persistent worker pool, the fault-injection harness (whose chaos
 # suite in internal/core races injected faults against free-running
-# ranks) and the network transport (whose whole mpi suite runs a TCP
-# loopback leg, reader goroutines racing senders) are the concurrent
-# subsystems; run them under the race detector. The pooled-buffer, tree
-# and solver packages ride along: they are exercised concurrently
-# through the layers above, and running them directly keeps any future
-# internal concurrency covered from day one.
+# ranks), the network transport (whose whole mpi suite runs a TCP
+# loopback leg, reader goroutines racing senders) and the frame server
+# (concurrent HTTP sessions sharing an engine, cache and admission
+# queue) are the concurrent subsystems; run them under the race
+# detector. The pooled-buffer, tree and solver packages ride along:
+# they are exercised concurrently through the layers above, and running
+# them directly keeps any future internal concurrency covered from day
+# one.
 race:
-	$(GO) test -race ./internal/render/... ./internal/lic/... ./internal/core/... ./internal/compositor/... ./internal/workers/... ./internal/faultinject/... ./internal/pfs/... ./internal/mpiio/... ./internal/mpi/... ./internal/pool/... ./internal/quadtree/... ./internal/octree/... ./internal/quake/...
+	$(GO) test -race ./internal/render/... ./internal/lic/... ./internal/core/... ./internal/compositor/... ./internal/workers/... ./internal/faultinject/... ./internal/pfs/... ./internal/mpiio/... ./internal/mpi/... ./internal/pool/... ./internal/quadtree/... ./internal/octree/... ./internal/quake/... ./internal/serve/...
 
 vet:
 	$(GO) vet ./...
@@ -64,6 +66,7 @@ bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/core/
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/workers/
 	$(GO) test -run='^$$' -bench=. -benchmem ./internal/mpi/
+	$(GO) test -run='^$$' -bench=. -benchmem ./internal/serve/
 
 check: build vet fmtcheck lint test race
 
@@ -78,7 +81,10 @@ check: build vet fmtcheck lint test race
 # TestRenderFrameAllocFree); the fixed-seed chaos smoke replays PR 6's
 # fault-injection suite under the race detector (docs/faults.md),
 # including the chaos-over-net drop/kill pins, and the TestNet leg
-# replays the transport's heal/peer-loss suite the same way; and the
+# replays the transport's heal/peer-loss suite the same way; the serve
+# legs replay the frame server's load suite (bit-exactness + hit-rate +
+# zero-alloc warm path) and chaos suite (degraded serving, shedding,
+# drain, leak checks) under the race detector (docs/serve.md); and the
 # -benchtime 1x smoke run compiles and executes every hot-kernel benchmark
 # once so they cannot bit-rot. See docs/ci.md for the full gate catalog.
 ci: check
@@ -86,9 +92,10 @@ ci: check
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestCompositeStripSpeedupGate' -v ./internal/compositor/
 	REPRO_PERF_ASSERT=1 $(GO) test -run 'TestDecodeChainSpeedupGate' -v ./internal/core/
 	$(GO) test -run 'AllocFree|AllocBudget|ArenaReuse' -v ./internal/compositor/ ./internal/render/ ./internal/lic/ ./internal/quadtree/ ./internal/core/ ./internal/mpiio/ ./internal/workers/ ./internal/mpi/
-	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/core/
+	$(GO) test -race -run 'TestChaos' -count=1 -v ./internal/core/ ./internal/serve/
 	$(GO) test -race -run 'TestNet' -count=1 -v ./internal/mpi/ ./internal/faultinject/
-	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/compositor/ ./internal/lic/ ./internal/render/ ./internal/mpiio/ ./internal/core/ ./internal/workers/ ./internal/mpi/
+	$(GO) test -race -run 'TestServeLoad' -count=1 -v ./internal/serve/
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./internal/compositor/ ./internal/lic/ ./internal/render/ ./internal/mpiio/ ./internal/core/ ./internal/workers/ ./internal/mpi/ ./internal/serve/
 
 # Short exploratory fuzz sessions; the committed seeds alone run in `test`.
 fuzz:
@@ -101,3 +108,4 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz='^FuzzFaultSchedule$$' -fuzztime=30s ./internal/faultinject/
 	$(GO) test -run='^$$' -fuzz='^FuzzNetFrameDecode$$' -fuzztime=30s ./internal/mpi/
 	$(GO) test -run='^$$' -fuzz='^FuzzNetChaos$$' -fuzztime=30s ./internal/faultinject/
+	$(GO) test -run='^$$' -fuzz='^FuzzServeRequestParse$$' -fuzztime=30s ./internal/serve/

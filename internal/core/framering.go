@@ -63,11 +63,28 @@ func (r *FrameRing) Acquire(w, h int) *img.Image {
 }
 
 // Release returns a canvas to the ring. nil is ignored.
+//
+// Releasing the same canvas twice without an Acquire in between panics:
+// a duplicate in the free list would let Acquire hand one canvas to two
+// owners, and the resulting aliasing corrupts frames silently, far from
+// the bug. The workload-level consumer API (ReleaseFrame/CopyFrameInto)
+// is naturally idempotent — the frames-map delete means a second release
+// of a step finds nothing — which hid this hole until the serving layer
+// (internal/serve) became the ring's first direct second consumer; the
+// O(depth) membership scan turns the silent corruption into an immediate,
+// attributable failure and allocates nothing (the assemble path's
+// AllocsPerRun gates still see exactly 0).
 func (r *FrameRing) Release(m *img.Image) {
 	if m == nil {
 		return
 	}
 	r.mu.Lock()
+	for _, f := range r.free {
+		if f == m {
+			r.mu.Unlock()
+			panic("core: FrameRing.Release called twice for the same canvas (ownership bug: see docs/ownership.md)")
+		}
+	}
 	r.free = append(r.free, m)
 	r.mu.Unlock()
 }

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/img"
+)
+
+// TestFrameRingDoubleReleasePanics pins the audit fix for the serving
+// layer: releasing the same canvas twice must fail loudly at the second
+// Release, not corrupt frames later when Acquire hands the duplicate to
+// two owners.
+func TestFrameRingDoubleReleasePanics(t *testing.T) {
+	r := NewFrameRing(2, 8, 8)
+	m := r.Acquire(8, 8)
+	r.Release(m)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Release of the same canvas did not panic")
+		}
+	}()
+	r.Release(m)
+}
+
+// TestFrameRingReacquireAfterRelease pins that the guard only rejects
+// duplicates: release → acquire → release of the same canvas is the normal
+// recycle cycle and must keep working.
+func TestFrameRingReacquireAfterRelease(t *testing.T) {
+	r := NewFrameRing(1, 8, 8)
+	m := r.Acquire(8, 8)
+	r.Release(m)
+	again := r.Acquire(8, 8)
+	if again != m {
+		t.Fatal("ring did not recycle the released canvas")
+	}
+	r.Release(again) // must not panic
+}
+
+// TestFrameRingConcurrentConsumers stresses the acquire/release cycle from
+// many goroutines and checks the ring never hands one canvas to two
+// concurrent owners — the corruption mode the double-release guard exists
+// to catch.
+func TestFrameRingConcurrentConsumers(t *testing.T) {
+	r := NewFrameRing(4, 16, 16)
+	var outMu sync.Mutex
+	outstanding := make(map[*img.Image]bool)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				m := r.Acquire(16, 16)
+				outMu.Lock()
+				if outstanding[m] {
+					outMu.Unlock()
+					panic("ring handed one canvas to two owners")
+				}
+				outstanding[m] = true
+				outMu.Unlock()
+				m.Pix[0] = 1 // touch the canvas while owned
+				outMu.Lock()
+				delete(outstanding, m)
+				outMu.Unlock()
+				r.Release(m)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -74,8 +74,16 @@ type RealWorkload struct {
 
 	// stepNames caches every step's object name (PR 4): the fetch loop
 	// opens one object per timestep, and formatting the name there was the
-	// last per-step allocation of the read path.
+	// last per-step allocation of the read path. It covers the whole
+	// dataset (not just the configured run length) so a step window can be
+	// re-aimed anywhere without reformatting names.
 	stepNames []string
+
+	// stepBase offsets logical timesteps into the dataset: the pipeline
+	// always runs logical steps [0, steps), which SetStepWindow maps onto
+	// dataset steps [stepBase, stepBase+steps). Zero for whole-dataset
+	// runs, so batch behavior is unchanged.
+	stepBase int
 
 	// ring recycles assembled frame canvases; see FrameRing for the
 	// copy-out-or-release consumer contract.
@@ -147,7 +155,7 @@ func NewRealWorkload(l Layout, opts Options, store pfs.Store) (*RealWorkload, er
 	if opts.MaxSteps > 0 && opts.MaxSteps < w.steps {
 		w.steps = opts.MaxSteps
 	}
-	w.stepNames = make([]string, w.steps)
+	w.stepNames = make([]string, meta.NumSteps)
 	for t := range w.stepNames {
 		w.stepNames[t] = quake.StepObject(t)
 	}
@@ -402,12 +410,47 @@ func sortIDs(s []int32) {
 	slices.Sort(s)
 }
 
-// stepName returns the cached object name of timestep t.
+// stepName returns the cached object name of logical timestep t (mapped
+// through the step window when one is set).
 func (w *RealWorkload) stepName(t int) string {
-	if t >= 0 && t < len(w.stepNames) {
-		return w.stepNames[t]
+	pt := t + w.stepBase
+	if pt >= 0 && pt < len(w.stepNames) {
+		return w.stepNames[pt]
 	}
-	return quake.StepObject(t)
+	return quake.StepObject(pt)
+}
+
+// SetStepWindow re-aims the workload at dataset timesteps [lo, hi): the
+// next pipeline run renders exactly those steps, with logical step i
+// mapping to dataset step lo+i (Frame, ReleaseFrame and FrameDegraded all
+// take logical steps). Temporal enhancement at logical step 0 still reads
+// dataset step lo-1 when one exists, so a windowed run's frames are
+// bit-identical to the same steps of a whole-dataset run. This is the
+// serving layer's cache-fill hook (internal/serve renders one miss-run per
+// request); batch runs never call it and keep the whole-dataset window.
+//
+// The call must happen between pipeline runs, never during one: it resets
+// the degraded-step accounting and releases any frames still held from the
+// previous window back to the ring (the copy-out-or-release contract for a
+// consumer that re-aims instead of consuming). Scratches, pools and the
+// quantization range are untouched — they are window-independent, which is
+// what keeps a session's warm buffers warm across windows.
+func (w *RealWorkload) SetStepWindow(lo, hi int) error {
+	if lo < 0 || hi <= lo || hi > w.meta.NumSteps {
+		return fmt.Errorf("core: step window [%d, %d) outside dataset steps [0, %d)", lo, hi, w.meta.NumSteps)
+	}
+	w.framesMu.Lock()
+	for t, frame := range w.frames {
+		delete(w.frames, t)
+		w.ring.Release(frame)
+	}
+	w.framesMu.Unlock()
+	w.degradedMu.Lock()
+	clear(w.degraded)
+	w.degradedMu.Unlock()
+	w.stepBase = lo
+	w.steps = hi - lo
+	return nil
 }
 
 // scanRange computes the dataset-wide maximum velocity magnitude for
@@ -583,7 +626,7 @@ func (w *RealWorkload) magQuant(c *mpi.Comm, t int, ids []int32, raw []byte, scr
 	scr.vec = vec
 	scr.mag = render.MagnitudeInto(scr.mag, vec)
 	mag := scr.mag
-	if w.opts.Enhancement && t > 0 {
+	if w.opts.Enhancement && t+w.stepBase > 0 {
 		// Enhancement needs the previous step's values for the same nodes;
 		// the displacements are the same ids, rebuilt in the scratch buffer
 		// (the step-t view has already been read), through the second file

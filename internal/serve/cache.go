@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"sync"
+
+	"repro/internal/img"
+	"repro/internal/pool"
+)
+
+// FrameCache is a byte-bounded LRU cache of rendered frames. It owns
+// every pixel buffer it holds: Put copies the frame in (the source stays
+// with the caller, honoring the frame ring's copy-out-or-release
+// contract), GetInto copies the frame out into a caller-owned canvas.
+// Nothing cached ever aliases a workload's frame ring, so sessions can
+// release their canvases immediately after fill and concurrent readers
+// never share mutable pixels.
+//
+// Eviction is strict LRU by bytes: Put evicts from the cold end until the
+// new frame fits. Evicted entries park on a free list with their pixel
+// buffers, so a steady mix of Put and eviction recycles buffers instead
+// of allocating. All methods are safe for concurrent use.
+type FrameCache struct {
+	mu sync.Mutex
+	m  map[FrameKey]*cacheEntry
+	// hot/cold are the LRU list ends: hot.next is most recent,
+	// cold.prev is the eviction candidate (sentinel-linked ring).
+	hot, cold cacheEntry
+	freeList  *cacheEntry
+	limit     int64
+	used      int64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// cacheEntry is one cached frame plus its LRU links; evicted entries are
+// recycled (with their pixel buffers) through the cache's free list.
+type cacheEntry struct {
+	key        FrameKey
+	w, h       int
+	pix        []float32
+	prev, next *cacheEntry
+}
+
+// entryOverhead approximates a cacheEntry's non-pixel footprint for the
+// byte accounting, so zero-sized frames still cost something.
+const entryOverhead = 160
+
+// NewFrameCache returns a cache bounded to limit bytes of pixel data
+// (plus a small per-entry overhead). A non-positive limit disables
+// caching: Put becomes a no-op and every Get misses.
+func NewFrameCache(limit int64) *FrameCache {
+	c := &FrameCache{m: make(map[FrameKey]*cacheEntry), limit: limit}
+	c.hot.next, c.hot.prev = &c.cold, &c.cold
+	c.cold.prev, c.cold.next = &c.hot, &c.hot
+	return c
+}
+
+// unlink removes e from the LRU list.
+func (c *FrameCache) unlink(e *cacheEntry) {
+	e.prev.next = e.next
+	e.next.prev = e.prev
+	e.prev, e.next = nil, nil
+}
+
+// pushHot inserts e at the most-recently-used end.
+func (c *FrameCache) pushHot(e *cacheEntry) {
+	e.prev = &c.hot
+	e.next = c.hot.next
+	e.prev.next = e
+	e.next.prev = e
+}
+
+// entryBytes is the accounted size of an entry holding n pixels.
+func entryBytes(n int) int64 { return int64(4*n) + entryOverhead }
+
+// GetInto looks up k and, on a hit, copies the frame into dst (resized
+// via pool.Grow, so a reused dst makes the copy allocation-free) and
+// marks the entry most recently used. It reports whether k was cached.
+//
+//repro:allocfree
+func (c *FrameCache) GetInto(k FrameKey, dst *img.Image) bool {
+	c.mu.Lock()
+	e := c.m[k]
+	if e == nil {
+		c.misses++
+		c.mu.Unlock()
+		return false
+	}
+	c.unlink(e)
+	c.pushHot(e)
+	dst.W, dst.H = e.w, e.h
+	dst.Pix = pool.Grow(dst.Pix, len(e.pix)) //repro:allow allocfree: amortized destination growth, warm hits copy in place
+	copy(dst.Pix, e.pix)
+	c.hits++
+	c.mu.Unlock()
+	return true
+}
+
+// Contains reports whether k is cached, without touching LRU order or
+// the hit/miss counters — a peek for planning which steps of a range
+// still need rendering.
+func (c *FrameCache) Contains(k FrameKey) bool {
+	c.mu.Lock()
+	_, ok := c.m[k]
+	c.mu.Unlock()
+	return ok
+}
+
+// Put copies src into the cache under k, evicting least-recently-used
+// frames until it fits. A frame larger than the whole cache is not
+// cached. Re-putting an existing key refreshes its pixels and recency.
+func (c *FrameCache) Put(k FrameKey, src *img.Image) {
+	need := entryBytes(len(src.Pix))
+	if c.limit <= 0 || need > c.limit {
+		return
+	}
+	c.mu.Lock()
+	e := c.m[k]
+	if e != nil {
+		c.unlink(e)
+		c.used -= entryBytes(len(e.pix))
+	} else if c.freeList != nil {
+		e = c.freeList
+		c.freeList = e.next
+		e.next = nil
+	} else {
+		e = &cacheEntry{}
+	}
+	for c.used+need > c.limit {
+		victim := c.cold.prev
+		c.evict(victim)
+	}
+	e.key = k
+	e.w, e.h = src.W, src.H
+	e.pix = pool.Grow(e.pix, len(src.Pix))
+	copy(e.pix, src.Pix)
+	c.m[k] = e
+	c.pushHot(e)
+	c.used += need
+	c.mu.Unlock()
+}
+
+// evict removes victim from the map and LRU list and parks it on the
+// free list, keeping its pixel buffer for reuse. Caller holds c.mu.
+func (c *FrameCache) evict(victim *cacheEntry) {
+	c.unlink(victim)
+	delete(c.m, victim.key)
+	c.used -= entryBytes(len(victim.pix))
+	c.evictions++
+	victim.prev = nil
+	victim.next = c.freeList
+	c.freeList = victim
+}
+
+// CacheStats is a point-in-time snapshot of the cache counters, exposed
+// through /statsz.
+type CacheStats struct {
+	// Hits and Misses count GetInto outcomes since construction.
+	Hits, Misses uint64
+	// Evictions counts frames pushed out by the byte bound.
+	Evictions uint64
+	// Entries is the current cached-frame count.
+	Entries int
+	// Bytes and Limit are the accounted usage and the configured bound.
+	Bytes, Limit int64
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 before any lookups.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *FrameCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Entries: len(c.m), Bytes: c.used, Limit: c.limit,
+	}
+}

@@ -1,0 +1,121 @@
+package serve_test
+
+import (
+	"testing"
+
+	"repro/internal/img"
+	"repro/internal/serve"
+)
+
+// mkFrame returns a w×h frame with every channel set to fill.
+func mkFrame(w, h int, fill float32) *img.Image {
+	m := img.New(w, h)
+	for i := range m.Pix {
+		m.Pix[i] = fill
+	}
+	return m
+}
+
+// key builds a cache key distinguished only by step.
+func key(step int) serve.FrameKey {
+	return serve.FrameKey{Cfg: serve.RenderConfig{Width: 8, Height: 8}, Step: step}
+}
+
+// frameBytes is the accounted cost of one 8×8 test frame (pixels +
+// per-entry overhead), mirrored from the cache's accounting.
+const frameBytes = 4*4*8*8 + 160
+
+// TestFrameCacheLRUEviction pins strict byte-bounded LRU: a third frame
+// in a two-frame cache evicts the least recently used one.
+func TestFrameCacheLRUEviction(t *testing.T) {
+	c := serve.NewFrameCache(2 * frameBytes)
+	c.Put(key(0), mkFrame(8, 8, 0))
+	c.Put(key(1), mkFrame(8, 8, 1))
+	c.Put(key(2), mkFrame(8, 8, 2))
+	if c.Contains(key(0)) {
+		t.Error("oldest frame survived eviction")
+	}
+	var dst img.Image
+	for _, step := range []int{1, 2} {
+		if !c.GetInto(key(step), &dst) {
+			t.Fatalf("frame %d missing", step)
+		}
+		if dst.Pix[0] != float32(step) {
+			t.Errorf("frame %d holds %v", step, dst.Pix[0])
+		}
+	}
+	st := c.Stats()
+	if st.Entries != 2 || st.Evictions != 1 {
+		t.Errorf("entries %d evictions %d, want 2/1", st.Entries, st.Evictions)
+	}
+	if st.Bytes != 2*frameBytes {
+		t.Errorf("accounted %d bytes, want %d", st.Bytes, 2*frameBytes)
+	}
+}
+
+// TestFrameCacheGetBumpsRecency pins that a hit protects its entry: after
+// touching the older frame, the other one is the eviction victim.
+func TestFrameCacheGetBumpsRecency(t *testing.T) {
+	c := serve.NewFrameCache(2 * frameBytes)
+	c.Put(key(0), mkFrame(8, 8, 0))
+	c.Put(key(1), mkFrame(8, 8, 1))
+	var dst img.Image
+	if !c.GetInto(key(0), &dst) {
+		t.Fatal("frame 0 missing")
+	}
+	c.Put(key(2), mkFrame(8, 8, 2))
+	if !c.Contains(key(0)) || c.Contains(key(1)) {
+		t.Errorf("victim after bump: have0=%v have1=%v, want true/false", c.Contains(key(0)), c.Contains(key(1)))
+	}
+}
+
+// TestFrameCachePutRefreshes pins that re-putting a key replaces its
+// pixels without growing the entry count or double-accounting bytes.
+func TestFrameCachePutRefreshes(t *testing.T) {
+	c := serve.NewFrameCache(4 * frameBytes)
+	c.Put(key(0), mkFrame(8, 8, 1))
+	c.Put(key(0), mkFrame(8, 8, 7))
+	var dst img.Image
+	if !c.GetInto(key(0), &dst) || dst.Pix[0] != 7 {
+		t.Fatalf("refreshed frame reads %v", dst.Pix)
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != frameBytes {
+		t.Errorf("entries %d bytes %d after refresh, want 1/%d", st.Entries, st.Bytes, frameBytes)
+	}
+}
+
+// TestFrameCacheBounds pins the edge rules: an oversized frame is not
+// cached, and a disabled cache (limit <= 0) never stores anything.
+func TestFrameCacheBounds(t *testing.T) {
+	c := serve.NewFrameCache(frameBytes - 1)
+	c.Put(key(0), mkFrame(8, 8, 1))
+	if c.Contains(key(0)) {
+		t.Error("frame larger than the cache was cached")
+	}
+	off := serve.NewFrameCache(-1)
+	off.Put(key(0), mkFrame(8, 8, 1))
+	var dst img.Image
+	if off.GetInto(key(0), &dst) {
+		t.Error("disabled cache returned a hit")
+	}
+}
+
+// TestFrameCacheCopiesBothWays pins the ownership contract: mutating the
+// source after Put, or the destination after GetInto, must not affect
+// the cached pixels.
+func TestFrameCacheCopiesBothWays(t *testing.T) {
+	c := serve.NewFrameCache(4 * frameBytes)
+	src := mkFrame(8, 8, 3)
+	c.Put(key(0), src)
+	src.Pix[0] = 99
+	var a img.Image
+	if !c.GetInto(key(0), &a) || a.Pix[0] != 3 {
+		t.Fatalf("cache aliased the source: %v", a.Pix[0])
+	}
+	a.Pix[0] = 42
+	var b img.Image
+	if !c.GetInto(key(0), &b) || b.Pix[0] != 3 {
+		t.Fatalf("cache aliased a destination: %v", b.Pix[0])
+	}
+}

@@ -1,0 +1,255 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/url"
+	"strconv"
+)
+
+// Frame-request decoding: query parameters or a JSON body become a
+// validated (RenderConfig, step range, format) triple. The decoder is
+// strict — unknown keys, out-of-range geometry, non-finite angles and
+// unknown transfer-function names are rejected — because every accepted
+// combination becomes a cache key and a session configuration; lenient
+// parsing would let junk requests mint unbounded key variants. All
+// reject paths bound their work by the input-size caps below, so
+// malformed input cannot allocate unboundedly (pinned by
+// FuzzServeRequestParse).
+
+const (
+	// MaxRawRequestLen caps the accepted query-string or JSON-body length
+	// in bytes; longer inputs are rejected before any parsing allocates.
+	MaxRawRequestLen = 4096
+	// MinFrameDim is the smallest accepted frame width or height.
+	MinFrameDim = 8
+	// MaxFrameDim is the largest accepted frame width or height; the wire
+	// decoder also uses it to bound header-promised sizes.
+	MaxFrameDim = 2048
+	// DefaultFrameDim is the width and height when a request names none.
+	DefaultFrameDim = 256
+	// FormatRaw names the float32 little-endian wire encoding
+	// (docs/serve.md), the default response format.
+	FormatRaw = "raw"
+	// FormatPNG names the tone-mapped PNG encoding (single-frame
+	// endpoint only).
+	FormatPNG = "png"
+)
+
+// Request is one decoded frame request: what to render (Cfg), which
+// dataset steps ([Lo, Hi)), and how to encode the response.
+type Request struct {
+	// Cfg is the render configuration (also the cache/session key).
+	Cfg RenderConfig
+	// Lo and Hi bound the requested dataset steps, half-open [Lo, Hi).
+	Lo, Hi int
+	// Format is FormatRaw or FormatPNG.
+	Format string
+}
+
+// Limits bounds what a decoded request may ask for; the Server fills it
+// from the Engine (dataset length, window bound).
+type Limits struct {
+	// Steps is the dataset timestep count; requests must stay inside
+	// [0, Steps).
+	Steps int
+	// MaxRange caps Hi-Lo (0 means 1: single-frame endpoints).
+	MaxRange int
+}
+
+// requestJSON is the JSON-body shape of a frame request; every field is
+// optional except the step (either "step" or "lo"+"hi").
+type requestJSON struct {
+	Step   *int    `json:"step"`
+	Lo     *int    `json:"lo"`
+	Hi     *int    `json:"hi"`
+	Width  int     `json:"width"`
+	Height int     `json:"height"`
+	View   string  `json:"view"`
+	Az     float64 `json:"az"`
+	El     float64 `json:"el"`
+	TF     string  `json:"tf"`
+	Format string  `json:"format"`
+}
+
+// ParseQuery decodes a raw URL query string ("step=3&w=256&view=orbit&
+// az=30&el=55&tf=hot&format=raw") into a validated Request. Accepted
+// keys: step | lo+hi, w, h, view (default|orbit), az, el (orbit only),
+// tf, format. Unknown keys are an error.
+func ParseQuery(rawQuery string, lim Limits) (Request, error) {
+	if len(rawQuery) > MaxRawRequestLen {
+		return Request{}, fmt.Errorf("serve: query longer than %d bytes", MaxRawRequestLen)
+	}
+	vals, err := url.ParseQuery(rawQuery)
+	if err != nil {
+		return Request{}, fmt.Errorf("serve: bad query: %w", err)
+	}
+	var rj requestJSON
+	for key, vs := range vals {
+		if len(vs) != 1 {
+			return Request{}, fmt.Errorf("serve: repeated parameter %q", key)
+		}
+		v := vs[0]
+		switch key {
+		case "step":
+			n, err := parseInt(key, v)
+			if err != nil {
+				return Request{}, err
+			}
+			rj.Step = &n
+		case "lo":
+			n, err := parseInt(key, v)
+			if err != nil {
+				return Request{}, err
+			}
+			rj.Lo = &n
+		case "hi":
+			n, err := parseInt(key, v)
+			if err != nil {
+				return Request{}, err
+			}
+			rj.Hi = &n
+		case "w":
+			if rj.Width, err = parseInt(key, v); err != nil {
+				return Request{}, err
+			}
+		case "h":
+			if rj.Height, err = parseInt(key, v); err != nil {
+				return Request{}, err
+			}
+		case "view":
+			rj.View = v
+		case "az":
+			if rj.Az, err = parseFloat(key, v); err != nil {
+				return Request{}, err
+			}
+		case "el":
+			if rj.El, err = parseFloat(key, v); err != nil {
+				return Request{}, err
+			}
+		case "tf":
+			rj.TF = v
+		case "format":
+			rj.Format = v
+		default:
+			return Request{}, fmt.Errorf("serve: unknown parameter %q", key)
+		}
+	}
+	return rj.validate(lim)
+}
+
+// ParseJSONBody decodes a JSON request body into a validated Request.
+// The body shape mirrors the query parameters; unknown fields are an
+// error.
+func ParseJSONBody(body []byte, lim Limits) (Request, error) {
+	if len(body) > MaxRawRequestLen {
+		return Request{}, fmt.Errorf("serve: body longer than %d bytes", MaxRawRequestLen)
+	}
+	var rj requestJSON
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rj); err != nil {
+		return Request{}, fmt.Errorf("serve: bad JSON body: %w", err)
+	}
+	if dec.More() {
+		return Request{}, fmt.Errorf("serve: trailing data after JSON body")
+	}
+	return rj.validate(lim)
+}
+
+// parseInt parses a decimal integer parameter with a bounded length.
+func parseInt(key, v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("serve: parameter %q: %w", key, err)
+	}
+	return n, nil
+}
+
+// parseFloat parses a float parameter, rejecting non-finite values
+// (NaN would poison map-key equality: a NaN-keyed config can never
+// cache-hit itself).
+func parseFloat(key, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: parameter %q: %w", key, err)
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("serve: parameter %q must be finite", key)
+	}
+	return f, nil
+}
+
+// validate turns the decoded fields into a Request, applying defaults
+// and the full validation rules.
+func (rj requestJSON) validate(lim Limits) (Request, error) {
+	var req Request
+
+	switch {
+	case rj.Step != nil:
+		if rj.Lo != nil || rj.Hi != nil {
+			return Request{}, fmt.Errorf("serve: step and lo/hi are mutually exclusive")
+		}
+		req.Lo, req.Hi = *rj.Step, *rj.Step+1
+	case rj.Lo != nil && rj.Hi != nil:
+		req.Lo, req.Hi = *rj.Lo, *rj.Hi
+	default:
+		return Request{}, fmt.Errorf("serve: request needs step= or lo=&hi=")
+	}
+	if req.Lo < 0 || req.Hi <= req.Lo || req.Hi > lim.Steps {
+		return Request{}, fmt.Errorf("serve: step range [%d, %d) outside dataset steps [0, %d)", req.Lo, req.Hi, lim.Steps)
+	}
+	maxRange := lim.MaxRange
+	if maxRange <= 0 {
+		maxRange = 1
+	}
+	if req.Hi-req.Lo > maxRange {
+		return Request{}, fmt.Errorf("serve: range of %d steps exceeds the %d-step bound", req.Hi-req.Lo, maxRange)
+	}
+
+	w, h := rj.Width, rj.Height
+	if w == 0 {
+		w = DefaultFrameDim
+	}
+	if h == 0 {
+		h = DefaultFrameDim
+	}
+	if w < MinFrameDim || w > MaxFrameDim || h < MinFrameDim || h > MaxFrameDim {
+		return Request{}, fmt.Errorf("serve: frame size %dx%d outside [%d, %d]", w, h, MinFrameDim, MaxFrameDim)
+	}
+	req.Cfg.Width, req.Cfg.Height = w, h
+
+	switch rj.View {
+	case "", "default":
+		if rj.Az != 0 || rj.El != 0 {
+			return Request{}, fmt.Errorf("serve: az/el need view=orbit")
+		}
+	case "orbit":
+		if rj.Az < -360 || rj.Az > 360 || rj.El < 0 || rj.El > 90 {
+			return Request{}, fmt.Errorf("serve: orbit angles az=%v el=%v outside az [-360, 360], el [0, 90]", rj.Az, rj.El)
+		}
+		req.Cfg.Orbit = true
+		req.Cfg.Az, req.Cfg.El = rj.Az, rj.El
+	default:
+		return Request{}, fmt.Errorf("serve: unknown view %q", rj.View)
+	}
+
+	switch rj.TF {
+	case "", "seismic", "gray", "hot":
+		req.Cfg.TF = rj.TF
+	default:
+		return Request{}, fmt.Errorf("serve: unknown transfer function %q", rj.TF)
+	}
+
+	switch rj.Format {
+	case "":
+		req.Format = FormatRaw
+	case FormatRaw, FormatPNG:
+		req.Format = rj.Format
+	default:
+		return Request{}, fmt.Errorf("serve: unknown format %q", rj.Format)
+	}
+	return req, nil
+}
